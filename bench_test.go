@@ -1,0 +1,282 @@
+// Package lisa's root benchmark harness: one testing.B per reproduced
+// figure/table (driving the same code as cmd/lisabench) plus
+// micro-benchmarks for every substrate. Run with:
+//
+//	go test -bench=. -benchmem
+package lisa
+
+import (
+	"testing"
+
+	"lisa/internal/callgraph"
+	"lisa/internal/concolic"
+	"lisa/internal/contract"
+	"lisa/internal/core"
+	"lisa/internal/corpus"
+	"lisa/internal/diffutil"
+	"lisa/internal/embedding"
+	"lisa/internal/experiments"
+	"lisa/internal/infer"
+	"lisa/internal/interp"
+	"lisa/internal/minij"
+	"lisa/internal/smt"
+	"lisa/internal/ticket"
+)
+
+// benchExperiment runs one named experiment per iteration.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	c := corpus.Load()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(name, c)
+		if err != nil || len(out) == 0 {
+			b.Fatalf("experiment %s: err=%v len=%d", name, err, len(out))
+		}
+	}
+}
+
+// BenchmarkStudyCorpus regenerates the §2.1 study table (E-S1).
+func BenchmarkStudyCorpus(b *testing.B) { benchExperiment(b, "study") }
+
+// BenchmarkTimelineReplay regenerates Figure 1 (E-F1): history replay with
+// enforcement.
+func BenchmarkTimelineReplay(b *testing.B) { benchExperiment(b, "timeline") }
+
+// BenchmarkEphemeralRegression regenerates Figures 2-3 (E-F2/F3): the
+// ZooKeeper ephemeral-node walkthrough.
+func BenchmarkEphemeralRegression(b *testing.B) { benchExperiment(b, "ephemeral") }
+
+// BenchmarkComparisonSweep regenerates Figure 4 (E-F4): testing vs LISA vs
+// exhaustive checking across the corpus.
+func BenchmarkComparisonSweep(b *testing.B) { benchExperiment(b, "comparison") }
+
+// BenchmarkWorkflowEndToEnd regenerates Figure 5 (E-F5): one full pipeline
+// run with stage timings.
+func BenchmarkWorkflowEndToEnd(b *testing.B) { benchExperiment(b, "workflow") }
+
+// BenchmarkGeneralization regenerates Figure 6 (E-F6): literal vs
+// generalized rules.
+func BenchmarkGeneralization(b *testing.B) { benchExperiment(b, "generalize") }
+
+// BenchmarkHBaseSnapshotBug regenerates §4 Bug #1 (E-B1).
+func BenchmarkHBaseSnapshotBug(b *testing.B) { benchExperiment(b, "hbase") }
+
+// BenchmarkHDFSObserverBug regenerates §4 Bug #2 (E-B2).
+func BenchmarkHDFSObserverBug(b *testing.B) { benchExperiment(b, "hdfs") }
+
+// BenchmarkReliabilityCrossCheck runs a reduced E-Q1 sweep per iteration
+// (one noise level, one seed) — the full sweep is the lisabench run.
+func BenchmarkReliabilityCrossCheck(b *testing.B) {
+	c := corpus.Load()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := experiments.ReliabilitySweep(c, []float64{0.3}, 1)
+		if len(pts) != 1 {
+			b.Fatal("sweep failed")
+		}
+	}
+}
+
+// BenchmarkComposition regenerates the E-Q3 composition study.
+func BenchmarkComposition(b *testing.B) { benchExperiment(b, "compose") }
+
+// BenchmarkAblations runs the design-choice ablations (E-A1).
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+// --- Substrate micro-benchmarks -------------------------------------------
+
+func flagshipTicket() *ticket.Ticket {
+	return corpus.Load().Get("zk-ephemeral").Tickets[0]
+}
+
+// BenchmarkMiniJParse measures parsing + resolving a corpus system.
+func BenchmarkMiniJParse(b *testing.B) {
+	src := flagshipTicket().FixedSource
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := minij.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := minij.Check(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreter measures a full test execution under the
+// interpreter.
+func BenchmarkInterpreter(b *testing.B) {
+	cs := corpus.Load().Get("zk-ephemeral")
+	tc := cs.Tests[0]
+	prog, err := minij.Parse(cs.Head() + "\n" + tc.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := minij.Check(prog); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := interp.New(prog)
+		if _, err := in.CallStatic(tc.Class, tc.Method); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMTSolver measures the complement check on the paper's worked
+// example.
+func BenchmarkSMTSolver(b *testing.B) {
+	checker := smt.MustParsePredicate(`s != null && s.isClosing() == false && s.ttl > 0`)
+	pc := smt.MustParsePredicate(`s != null && s.isClosing() == false`)
+	comp := smt.Complement(checker)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !smt.SAT(smt.NewAnd(pc, comp)) {
+			b.Fatal("expected SAT (violation)")
+		}
+	}
+}
+
+// BenchmarkStaticPaths measures per-site path enumeration + verdicts.
+func BenchmarkStaticPaths(b *testing.B) {
+	tk := flagshipTicket()
+	prog, err := minij.Parse(tk.FixedSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := minij.Check(prog); err != nil {
+		b.Fatal(err)
+	}
+	res, err := (&infer.PatchAnalyzer{}).Infer(tk)
+	if err != nil || len(res.Semantics) == 0 {
+		b.Fatalf("infer: %v", err)
+	}
+	sites := contract.Match(res.Semantics[0], prog)
+	if len(sites) == 0 {
+		b.Fatal("no sites")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, site := range sites {
+			paths, _ := concolic.StaticPaths(prog, site, concolic.Options{})
+			for _, p := range paths {
+				_ = concolic.CheckStaticPath(p)
+			}
+		}
+	}
+}
+
+// BenchmarkConcolicRun measures one dynamic concolic test replay.
+func BenchmarkConcolicRun(b *testing.B) {
+	cs := corpus.Load().Get("zk-ephemeral")
+	tk := cs.Tickets[1]
+	full := tk.FixedSource
+	tc := cs.Tests[0]
+	full += "\n" + tc.Source
+	prog, err := minij.Parse(full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := minij.Check(prog); err != nil {
+		b.Fatal(err)
+	}
+	res, err := (&infer.PatchAnalyzer{}).Infer(tk)
+	if err != nil || len(res.Semantics) == 0 {
+		b.Fatalf("infer: %v", err)
+	}
+	sites := contract.Match(res.Semantics[0], prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := concolic.NewRunner(prog, sites, interp.Options{})
+		if err := r.RunStatic(tc.Name, tc.Class, tc.Method); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInference measures full guard extraction from a ticket bundle.
+func BenchmarkInference(b *testing.B) {
+	tk := flagshipTicket()
+	pa := &infer.PatchAnalyzer{Generalize: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pa.Infer(tk)
+		if err != nil || len(res.Semantics) == 0 {
+			b.Fatalf("infer: %v", err)
+		}
+	}
+}
+
+// BenchmarkCallGraph measures call-graph + execution-tree construction.
+func BenchmarkCallGraph(b *testing.B) {
+	tk := flagshipTicket()
+	prog, err := minij.Parse(tk.FixedSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := minij.Check(prog); err != nil {
+		b.Fatal(err)
+	}
+	target := prog.Method("DataTree", "createEphemeral")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := callgraph.Build(prog)
+		tree := g.ExecutionTree(target, callgraph.TreeOptions{})
+		if len(tree.Paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+// BenchmarkDiff measures the Myers diff on a corpus patch.
+func BenchmarkDiff(b *testing.B) {
+	tk := flagshipTicket()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edits := diffutil.Diff(tk.BuggySource, tk.FixedSource)
+		if !diffutil.Changed(edits) {
+			b.Fatal("no changes")
+		}
+	}
+}
+
+// BenchmarkEmbeddingQuery measures test-corpus retrieval.
+func BenchmarkEmbeddingQuery(b *testing.B) {
+	var docs []embedding.Doc
+	for _, cs := range corpus.Load().Cases {
+		for _, tc := range cs.Tests {
+			docs = append(docs, embedding.Doc{ID: tc.Name, Text: tc.Name + " " + tc.Description})
+		}
+	}
+	ix := embedding.NewIndex(docs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ix.Query("ephemeral node created on closing session", 3); len(got) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkFullAssert measures one engine assertion over a regressed
+// version with the full test suite.
+func BenchmarkFullAssert(b *testing.B) {
+	cs := corpus.Load().Get("zk-ephemeral")
+	e := core.New()
+	if _, err := e.ProcessTicket(cs.Tickets[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Assert(cs.Tickets[1].BuggySource, cs.Tests)
+		if err != nil || rep.Counts.Violations == 0 {
+			b.Fatalf("assert: err=%v violations=%d", err, rep.Counts.Violations)
+		}
+	}
+}
+
+// BenchmarkMutationSweep runs the guard-weakening mutation experiment
+// (E-M1): every mutant of every head, tests vs semantic assertion.
+func BenchmarkMutationSweep(b *testing.B) { benchExperiment(b, "mutation") }

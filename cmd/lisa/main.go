@@ -1,0 +1,393 @@
+// Command lisa is the CLI front end of the pipeline: it infers low-level
+// semantics from failure tickets, asserts registered contracts over a
+// codebase, and gates proposed changes.
+//
+// Usage:
+//
+//	lisa stats
+//	    Print the study corpus statistics.
+//
+//	lisa list
+//	    List the corpus cases and their tickets.
+//
+//	lisa infer -case <id> [-ticket <id>]
+//	    Run semantics inference on a corpus ticket and print the recovered
+//	    contracts with the reasoning trace.
+//
+//	lisa infer -buggy <file> -fixed <file> [-title <text>]
+//	    Run inference on a patch given as two MiniJ source files.
+//
+//	lisa assert -case <id> [-version latest|head|<ticket-id>:buggy|<ticket-id>:fixed] [-tests]
+//	    Register the rules inferred from every ticket of the case and
+//	    assert them over the chosen version (default: head).
+//
+//	lisa assert -rules <case-id> -source <file> [-tests]
+//	    Assert the case's rules over an arbitrary MiniJ source file.
+//
+//	lisa gate -case <id> -change <file>
+//	    Run the CI gate for a proposed full-source change against the
+//	    case's registered rules. Exits 1 when the change is blocked.
+//
+//	lisa author -spec <file> -source <file>
+//	    Compile developer-authored semantics from a structured spec file
+//	    (§5's explicit-encoding interface) and assert them over a source.
+//
+//	lisa export -case <id>
+//	    Export the rules mined from a case in spec syntax, for developer
+//	    review and editing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lisa/internal/ci"
+	"lisa/internal/concolic"
+	"lisa/internal/contract"
+	"lisa/internal/core"
+	"lisa/internal/corpus"
+	"lisa/internal/experiments"
+	"lisa/internal/infer"
+	"lisa/internal/ticket"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = runStats()
+	case "list":
+		err = runList()
+	case "infer":
+		err = runInfer(os.Args[2:])
+	case "assert":
+		err = runAssert(os.Args[2:])
+	case "gate":
+		err = runGate(os.Args[2:])
+	case "author":
+		err = runAuthor(os.Args[2:])
+	case "export":
+		err = runExport(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lisa: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisa:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lisa <stats|list|infer|assert|gate|author|export> [flags]")
+	fmt.Fprintln(os.Stderr, "run 'go doc lisa/cmd/lisa' for details")
+}
+
+func runAuthor(args []string) error {
+	fs := flag.NewFlagSet("author", flag.ExitOnError)
+	specPath := fs.String("spec", "", "path to the structured semantics spec")
+	sourcePath := fs.String("source", "", "path to the MiniJ source to assert over")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" || *sourcePath == "" {
+		return fmt.Errorf("need -spec and -source")
+	}
+	specText, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	sems, err := contract.ParseSpec(string(specText))
+	if err != nil {
+		return err
+	}
+	source, err := os.ReadFile(*sourcePath)
+	if err != nil {
+		return err
+	}
+	e := core.New()
+	for _, sem := range sems {
+		if err := e.Registry.Add(sem); err != nil {
+			return err
+		}
+		fmt.Printf("registered %s\n", sem)
+	}
+	rep, err := e.Assert(string(source), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nverdicts: %d verified, %d violations, %d unknown\n",
+		rep.Counts.Verified, rep.Counts.Violations, rep.Counts.Unknown)
+	for _, v := range rep.Violations() {
+		fmt.Println("VIOLATION", v)
+	}
+	if rep.Counts.Violations > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	caseID := fs.String("case", "", "corpus case id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cs := corpus.Load().Get(*caseID)
+	if cs == nil {
+		return fmt.Errorf("unknown case %q (try 'lisa list')", *caseID)
+	}
+	e := core.New()
+	for _, tk := range cs.Tickets {
+		if _, err := e.ProcessTicket(tk); err != nil {
+			return err
+		}
+	}
+	fmt.Print(contract.FormatSpec(e.Registry.All()))
+	return nil
+}
+
+func runStats() error {
+	c := corpus.Load()
+	out, err := experiments.Run("study", c)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func runList() error {
+	c := corpus.Load()
+	for _, cs := range c.Cases {
+		fmt.Printf("%-26s %-13s %s\n", cs.ID, cs.System, cs.Feature)
+		for _, tk := range cs.Tickets {
+			fmt.Printf("    %-10s %s\n", tk.ID, tk.Title)
+		}
+		if cs.Latest != "" {
+			fmt.Printf("    %-10s (head carries unguarded paths)\n", "latest")
+		}
+	}
+	return nil
+}
+
+func runInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	caseID := fs.String("case", "", "corpus case id")
+	ticketID := fs.String("ticket", "", "ticket id within the case (default: first)")
+	buggyPath := fs.String("buggy", "", "path to the pre-patch MiniJ source")
+	fixedPath := fs.String("fixed", "", "path to the post-patch MiniJ source")
+	title := fs.String("title", "user-supplied patch", "ticket title for file mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var tk *ticket.Ticket
+	switch {
+	case *buggyPath != "" && *fixedPath != "":
+		buggy, err := os.ReadFile(*buggyPath)
+		if err != nil {
+			return err
+		}
+		fixed, err := os.ReadFile(*fixedPath)
+		if err != nil {
+			return err
+		}
+		tk = &ticket.Ticket{
+			ID: "USER-1", Title: *title,
+			BuggySource: string(buggy), FixedSource: string(fixed),
+		}
+	case *caseID != "":
+		cs := corpus.Load().Get(*caseID)
+		if cs == nil {
+			return fmt.Errorf("unknown case %q (try 'lisa list')", *caseID)
+		}
+		tk = cs.Tickets[0]
+		if *ticketID != "" {
+			tk = nil
+			for _, cand := range cs.Tickets {
+				if cand.ID == *ticketID {
+					tk = cand
+				}
+			}
+			if tk == nil {
+				return fmt.Errorf("case %s has no ticket %q", *caseID, *ticketID)
+			}
+		}
+	default:
+		return fmt.Errorf("need -case or -buggy/-fixed")
+	}
+
+	pa := &infer.PatchAnalyzer{Generalize: true}
+	res, err := pa.Infer(tk)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ticket %s: %s\n\nhigh-level semantics:\n  %s\n\nlow-level semantics:\n", tk.ID, tk.Title, res.HighLevel)
+	for _, sem := range res.Semantics {
+		fmt.Printf("  %s\n    %s\n", sem, sem.Description)
+		cc := infer.CrossCheck(sem, tk)
+		fmt.Printf("    cross-check: grounded=%v confirmed=%v (%s)\n", cc.Grounded, cc.Confirmed, cc.Reason)
+	}
+	fmt.Println("\nreasoning:")
+	for _, r := range res.Reasoning {
+		fmt.Println("  -", r)
+	}
+	return nil
+}
+
+func runAssert(args []string) error {
+	fs := flag.NewFlagSet("assert", flag.ExitOnError)
+	caseID := fs.String("case", "", "corpus case id (rules source and default target)")
+	rulesID := fs.String("rules", "", "corpus case id to take rules from (with -source)")
+	version := fs.String("version", "head", "target version: head, latest, or <ticket-id>:buggy|fixed")
+	sourcePath := fs.String("source", "", "path to a MiniJ source file to assert over")
+	withTests := fs.Bool("tests", false, "also replay similarity-selected tests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := *caseID
+	if id == "" {
+		id = *rulesID
+	}
+	if id == "" {
+		return fmt.Errorf("need -case or -rules")
+	}
+	cs := corpus.Load().Get(id)
+	if cs == nil {
+		return fmt.Errorf("unknown case %q (try 'lisa list')", id)
+	}
+
+	e := core.New()
+	for _, tk := range cs.Tickets {
+		rep, err := e.ProcessTicket(tk)
+		if err != nil {
+			return fmt.Errorf("process %s: %w", tk.ID, err)
+		}
+		for _, sem := range rep.Registered {
+			fmt.Printf("registered %s\n", sem)
+		}
+		for _, sem := range rep.AlreadyKnown {
+			fmt.Printf("ticket %s re-derives known rule %s\n", tk.ID, sem.ID)
+		}
+	}
+
+	var target string
+	switch {
+	case *sourcePath != "":
+		data, err := os.ReadFile(*sourcePath)
+		if err != nil {
+			return err
+		}
+		target = string(data)
+	case *version == "head":
+		target = cs.Head()
+	case *version == "latest":
+		if cs.Latest == "" {
+			return fmt.Errorf("case %s has no latest head", id)
+		}
+		target = cs.Latest
+	default:
+		parts := strings.SplitN(*version, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -version %q", *version)
+		}
+		for _, tk := range cs.Tickets {
+			if tk.ID != parts[0] {
+				continue
+			}
+			if parts[1] == "buggy" {
+				target = tk.BuggySource
+			} else {
+				target = tk.FixedSource
+			}
+		}
+		if target == "" {
+			return fmt.Errorf("no version %q in case %s", *version, id)
+		}
+	}
+
+	var tests []ticket.TestCase
+	if *withTests {
+		tests = cs.Tests
+	}
+	rep, err := e.Assert(target, tests)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nverdicts: %d verified, %d violations, %d unknown, %d uncovered\n\n",
+		rep.Counts.Verified, rep.Counts.Violations, rep.Counts.Unknown, rep.Counts.Uncovered)
+	for _, sr := range rep.Semantics {
+		for _, v := range sr.Structural {
+			fmt.Printf("VIOLATION [%s] %s\n", sr.Semantic.ID, v)
+		}
+		for _, site := range sr.Sites {
+			for _, p := range site.Paths {
+				mark := "  "
+				if p.Verdict == concolic.VerdictViolation {
+					mark = "!!"
+				}
+				fmt.Printf("%s %-9s %s  cond={%s}", mark, p.Verdict, site.Site, p.Static.Cond)
+				if len(p.CoveredBy) > 0 {
+					fmt.Printf("  covered by %s", strings.Join(p.CoveredBy, ","))
+				}
+				fmt.Println()
+			}
+		}
+		if !sr.SanityOK {
+			fmt.Printf("WARN [%s] sanity check failed: no verified path anywhere\n", sr.Semantic.ID)
+		}
+	}
+	if rep.Counts.Violations > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func runGate(args []string) error {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	caseID := fs.String("case", "", "corpus case id providing the registered rules")
+	changePath := fs.String("change", "", "path to the proposed full MiniJ source")
+	summary := fs.String("summary", "proposed change", "change summary for the gate log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *caseID == "" || *changePath == "" {
+		return fmt.Errorf("need -case and -change")
+	}
+	cs := corpus.Load().Get(*caseID)
+	if cs == nil {
+		return fmt.Errorf("unknown case %q", *caseID)
+	}
+	data, err := os.ReadFile(*changePath)
+	if err != nil {
+		return err
+	}
+	e := core.New()
+	for _, tk := range cs.Tickets {
+		if _, err := e.ProcessTicket(tk); err != nil {
+			return err
+		}
+	}
+	res, err := ci.Gate(e, ci.Change{
+		Summary:   *summary,
+		OldSource: cs.Head(),
+		NewSource: string(data),
+	}, cs.Tests)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Summary())
+	if !res.Pass {
+		os.Exit(1)
+	}
+	return nil
+}

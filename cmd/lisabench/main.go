@@ -1,0 +1,31 @@
+// Command lisabench regenerates every table and figure of the paper from
+// the simulated corpus. Run one experiment with -exp <name>, or all of
+// them with -exp all (the default).
+//
+// Usage:
+//
+//	lisabench [-exp study|timeline|ephemeral|comparison|workflow|
+//	                generalize|hbase|hdfs|reliability|compose|ablations|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lisa/internal/corpus"
+	"lisa/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (use 'all' for every experiment); one of "+experiments.Names())
+	flag.Parse()
+
+	c := corpus.Load()
+	out, err := experiments.Run(*exp, c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisabench:", err)
+		os.Exit(2)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,116 @@
+// CI/CD enforcement: every fixed failure in the corpus becomes a standing
+// contract, and a stream of proposed changes is gated against all of them
+// at once — the paper's vision of a development workflow where the same
+// mistake cannot merge twice.
+//
+//	go run ./examples/ci-gate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lisa/internal/ci"
+	"lisa/internal/core"
+	"lisa/internal/corpus"
+	"lisa/internal/minij"
+	"lisa/internal/ticket"
+)
+
+func main() {
+	cs := corpus.Load().Get("zk-session-expiry")
+	engine := core.New()
+	if _, err := engine.ProcessTicket(cs.Tickets[0]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Registered %d contract(s) from %s.\n\n", engine.Registry.Len(), cs.Tickets[0].ID)
+
+	head := cs.Tickets[0].FixedSource
+	changes := []ci.Change{
+		{
+			Summary:   "add metrics counter to lease store",
+			OldSource: head,
+			NewSource: head + `
+class LeaseMetrics {
+	int renewals;
+
+	void bump() {
+		renewals = renewals + 1;
+	}
+}
+`,
+		},
+		{
+			Summary:   "add read-only ping path (fast path, skips expiry check)",
+			OldSource: head,
+			NewSource: cs.Tickets[1].BuggySource,
+		},
+		{
+			Summary:   "add read-only ping path with the expiry gate",
+			OldSource: head,
+			NewSource: cs.Tickets[1].FixedSource,
+		},
+		{
+			Summary:   "refactor that does not compile",
+			OldSource: head,
+			NewSource: "class Oops {",
+		},
+	}
+
+	blocked := 0
+	for i, ch := range changes {
+		res, err := ci.Gate(engine, ch, testsFor(cs, ch.NewSource))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("change %d: %s\n", i+1, ch.Summary)
+		fmt.Print(indent(res.Summary()))
+		if !res.Pass {
+			blocked++
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d of %d changes blocked before merge.\n", blocked, len(changes))
+}
+
+// testsFor returns the case tests that compile against the proposed source
+// (a change may predate classes that newer tests reference).
+func testsFor(cs *ticket.Case, source string) []ticket.TestCase {
+	var out []ticket.TestCase
+	for _, tc := range cs.Tests {
+		prog, err := minij.Parse(source + "\n" + tc.Source)
+		if err != nil {
+			continue
+		}
+		if err := minij.Check(prog); err != nil {
+			continue
+		}
+		out = append(out, tc)
+	}
+	return out
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

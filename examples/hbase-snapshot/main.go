@@ -1,0 +1,54 @@
+// §4 Bug #1 reproduction: scanning the latest hbasesim head with the rules
+// learned from the two historical snapshot-TTL fixes uncovers two paths
+// (export and scan) that still materialize expired snapshots — the
+// previously unknown, maintainer-confirmed bug class.
+//
+//	go run ./examples/hbase-snapshot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lisa/internal/concolic"
+	"lisa/internal/core"
+	"lisa/internal/corpus"
+)
+
+func main() {
+	cs := corpus.Load().Get("hbase-snapshot-ttl")
+	fmt.Printf("Case %s: %s\n\n", cs.ID, cs.Description)
+
+	engine := core.New()
+	for _, tk := range cs.Tickets {
+		rep, err := engine.ProcessTicket(tk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, sem := range rep.Registered {
+			fmt.Printf("from %s: %s\n", tk.ID, sem)
+		}
+		for _, sem := range rep.AlreadyKnown {
+			fmt.Printf("from %s: re-derives known rule %s — the same semantics, violated twice\n", tk.ID, sem.ID)
+		}
+	}
+
+	fmt.Println("\nScanning the latest head for inconsistent protection...")
+	ar, err := engine.Assert(cs.Latest, cs.Tests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var unknown int
+	for _, sr := range ar.Semantics {
+		for _, site := range sr.Sites {
+			for _, p := range site.Paths {
+				fmt.Printf("  %-9s %s  cond={%s}\n", p.Verdict, site.Site, p.Static.Cond)
+				if p.Verdict == concolic.VerdictViolation {
+					unknown++
+				}
+			}
+		}
+	}
+	fmt.Printf("\n%d new unguarded path(s) found in the latest version.\n", unknown)
+	fmt.Println("Proposed fix: add the timestamp check to the export and scan paths.")
+}

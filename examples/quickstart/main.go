@@ -1,0 +1,176 @@
+// Quickstart: the full LISA loop on a toy system in ~80 lines.
+//
+// A bug is fixed by adding a guard; LISA turns that fix into an executable
+// contract; a later change that reaches the same operation without the
+// guard is flagged before it can ship.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lisa/internal/ci"
+	"lisa/internal/core"
+	"lisa/internal/ticket"
+)
+
+// The original bug: publish does not check that the channel is open.
+const buggy = `
+class Channel {
+	string name;
+	bool open;
+
+	bool isOpen() {
+		return open;
+	}
+}
+
+class Broker {
+	list delivered;
+
+	void init() {
+		delivered = newList();
+	}
+
+	void deliver(Channel ch, string msg) {
+		delivered.add(ch.name + ":" + msg);
+	}
+}
+
+class Publisher {
+	Broker broker;
+
+	void init(Broker b) {
+		broker = b;
+	}
+
+	void publish(Channel ch, string msg) {
+		if (ch == null) {
+			throw "NoSuchChannel";
+		}
+		broker.deliver(ch, msg);
+	}
+}
+`
+
+// The fix strengthens the guard: closed channels must not receive messages.
+const fixed = `
+class Channel {
+	string name;
+	bool open;
+
+	bool isOpen() {
+		return open;
+	}
+}
+
+class Broker {
+	list delivered;
+
+	void init() {
+		delivered = newList();
+	}
+
+	void deliver(Channel ch, string msg) {
+		delivered.add(ch.name + ":" + msg);
+	}
+}
+
+class Publisher {
+	Broker broker;
+
+	void init(Broker b) {
+		broker = b;
+	}
+
+	void publish(Channel ch, string msg) {
+		if (ch == null || !ch.isOpen()) {
+			throw "NoSuchChannel";
+		}
+		broker.deliver(ch, msg);
+	}
+}
+`
+
+// A year later someone adds a retry path that skips the open check — the
+// classic regression.
+const proposedChange = fixed + `
+class RetryQueue {
+	Broker broker;
+
+	void init(Broker b) {
+		broker = b;
+	}
+
+	void flushRetries(Channel ch, string msg) {
+		if (ch == null) {
+			return;
+		}
+		broker.deliver(ch, msg);
+	}
+}
+`
+
+func main() {
+	engine := core.New()
+
+	// Step 1: the failure ticket — description, patch, post-patch source —
+	// becomes an executable contract.
+	rep, err := engine.ProcessTicket(&ticket.Ticket{
+		ID:          "MSG-101",
+		Title:       "Messages delivered to closed channels are lost",
+		Description: "publish accepted messages for channels that had been closed; consumers never saw them.",
+		BuggySource: buggy,
+		FixedSource: fixed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Inferred contract(s) from the fix:")
+	for _, sem := range rep.Registered {
+		fmt.Printf("  %s\n", sem)
+	}
+
+	// Step 2: the contract shields the codebase. The proposed retry path
+	// reaches the same delivery operation without the guard.
+	gate, err := ci.Gate(engine, ci.Change{
+		Summary:   "add retry queue flushing",
+		OldSource: fixed,
+		NewSource: proposedChange,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGate decision for the proposed retry path:")
+	fmt.Print(gate.Summary())
+
+	// Step 3: the corrected change passes.
+	corrected := fixed + `
+class RetryQueue {
+	Broker broker;
+
+	void init(Broker b) {
+		broker = b;
+	}
+
+	void flushRetries(Channel ch, string msg) {
+		if (ch == null || !ch.isOpen()) {
+			return;
+		}
+		broker.deliver(ch, msg);
+	}
+}
+`
+	gate2, err := ci.Gate(engine, ci.Change{
+		Summary:   "add retry queue flushing (guarded)",
+		OldSource: fixed,
+		NewSource: corrected,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGate decision after adding the guard:")
+	fmt.Print(gate2.Summary())
+}

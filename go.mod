@@ -1,0 +1,3 @@
+module lisa
+
+go 1.24

@@ -1,0 +1,125 @@
+// Package ci implements the enforcement end of the vision: every failure,
+// once fixed, becomes an executable contract that a CI/CD pipeline asserts
+// against each proposed change, so the same class of mistake cannot merge
+// again.
+package ci
+
+import (
+	"fmt"
+	"strings"
+
+	"lisa/internal/concolic"
+	"lisa/internal/core"
+	"lisa/internal/diffutil"
+	"lisa/internal/ticket"
+)
+
+// Change is one proposed code change submitted to the gate.
+type Change struct {
+	// Author and Summary describe the change (for the gate log).
+	Author  string
+	Summary string
+	// NewSource is the full system source after the change.
+	NewSource string
+	// OldSource, when non-empty, lets the gate include a patch digest in
+	// its report.
+	OldSource string
+}
+
+// Finding is one gate finding.
+type Finding struct {
+	Severity string // "BLOCK" or "WARN"
+	Text     string
+}
+
+// Result is the gate decision for one change.
+type Result struct {
+	Pass     bool
+	Findings []Finding
+	Report   *core.AssertReport
+	// DiffStat summarizes the change when OldSource was provided.
+	DiffStat string
+}
+
+// Gate asserts every contract in the engine's registry against the changed
+// source. Violations block the change; uncovered paths and failed sanity
+// checks surface as warnings for developer verdict (per §3.2, the developer
+// decides whether missing coverage means a missed test or a missed rule).
+func Gate(engine *core.Engine, ch Change, tests []ticket.TestCase) (*Result, error) {
+	report, err := engine.Assert(ch.NewSource, tests)
+	if err != nil {
+		// A change that does not compile or resolve is itself a block.
+		return &Result{
+			Pass:     false,
+			Findings: []Finding{{Severity: "BLOCK", Text: fmt.Sprintf("change does not build: %v", err)}},
+		}, nil
+	}
+	res := &Result{Report: report}
+	if ch.OldSource != "" {
+		st := diffutil.DiffStats(diffutil.Diff(ch.OldSource, ch.NewSource))
+		res.DiffStat = fmt.Sprintf("+%d -%d lines", st.Added, st.Removed)
+	}
+	for _, v := range report.Violations() {
+		res.Findings = append(res.Findings, Finding{Severity: "BLOCK", Text: v})
+	}
+	for _, sr := range report.Semantics {
+		if !sr.SanityOK {
+			res.Findings = append(res.Findings, Finding{
+				Severity: "WARN",
+				Text:     fmt.Sprintf("[%s] sanity check failed: no path verifies the rule anywhere", sr.Semantic.ID),
+			})
+		}
+		for _, site := range sr.Sites {
+			for _, p := range site.Paths {
+				if p.Verdict == concolic.VerdictUnknown {
+					res.Findings = append(res.Findings, Finding{
+						Severity: "WARN",
+						Text:     fmt.Sprintf("[%s] %s: operand not normalizable; developer review needed", sr.Semantic.ID, site.Site),
+					})
+				}
+				for _, tn := range p.PostViolatedBy {
+					res.Findings = append(res.Findings, Finding{
+						Severity: "BLOCK",
+						Text: fmt.Sprintf("[%s] %s: postcondition violated when replayed by %s",
+							sr.Semantic.ID, site.Site, tn),
+					})
+				}
+				if !p.Covered() && !report.StaticOnly && p.Verdict == concolic.VerdictVerified {
+					res.Findings = append(res.Findings, Finding{
+						Severity: "WARN",
+						Text: fmt.Sprintf("[%s] %s path {%s}: no selected test exercises this path",
+							sr.Semantic.ID, site.Site, p.Static),
+					})
+				}
+			}
+		}
+	}
+	res.Pass = true
+	for _, f := range res.Findings {
+		if f.Severity == "BLOCK" {
+			res.Pass = false
+			break
+		}
+	}
+	return res, nil
+}
+
+// Summary renders the gate decision as a short log.
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	if r.Pass {
+		sb.WriteString("GATE: PASS")
+	} else {
+		sb.WriteString("GATE: BLOCKED")
+	}
+	if r.DiffStat != "" {
+		sb.WriteString(" (")
+		sb.WriteString(r.DiffStat)
+		sb.WriteString(")")
+	}
+	sb.WriteByte('\n')
+	for _, f := range r.Findings {
+		fmt.Fprintf(&sb, "  %-5s %s\n", f.Severity, f.Text)
+	}
+	return sb.String()
+}

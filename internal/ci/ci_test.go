@@ -1,0 +1,255 @@
+package ci
+
+import (
+	"strings"
+	"testing"
+
+	"lisa/internal/contract"
+	"lisa/internal/core"
+	"lisa/internal/ticket"
+)
+
+const sysFixed = `
+class Session {
+	bool closing;
+}
+
+class DataTree {
+	map nodes;
+
+	void createEphemeral(string path, Session owner) {
+		nodes.put(path, owner);
+	}
+}
+
+class PrepProcessor {
+	DataTree tree;
+
+	void processCreate(string path, Session s) {
+		if (s == null || s.closing) {
+			throw "KeeperException";
+		}
+		tree.createEphemeral(path, s);
+	}
+}
+`
+
+const sysRegressed = sysFixed + `
+class SessionTracker {
+	DataTree tree;
+
+	void touchAndRegister(string path, Session s) {
+		if (s == null) {
+			return;
+		}
+		tree.createEphemeral(path, s);
+	}
+}
+`
+
+const sysSafeChange = sysFixed + `
+class SessionTracker {
+	DataTree tree;
+
+	void touchAndRegister(string path, Session s) {
+		if (s == null || s.closing) {
+			return;
+		}
+		tree.createEphemeral(path, s);
+	}
+}
+`
+
+func engineWithRule(t *testing.T) *core.Engine {
+	t.Helper()
+	e := core.New()
+	_, err := e.ProcessTicket(&ticket.Ticket{
+		ID:          "ZK-1208",
+		Title:       "Ephemeral node on closing session",
+		BuggySource: strings.Replace(sysFixed, " || s.closing", "", 1),
+		FixedSource: sysFixed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestGateBlocksRegression(t *testing.T) {
+	e := engineWithRule(t)
+	res, err := Gate(e, Change{
+		Author:    "dev",
+		Summary:   "add session tracker fast path",
+		OldSource: sysFixed,
+		NewSource: sysRegressed,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Fatalf("regression passed the gate:\n%s", res.Summary())
+	}
+	sum := res.Summary()
+	if !strings.Contains(sum, "BLOCKED") || !strings.Contains(sum, "SessionTracker.touchAndRegister") {
+		t.Errorf("summary:\n%s", sum)
+	}
+	if res.DiffStat == "" {
+		t.Error("missing diff stat")
+	}
+}
+
+func TestGatePassesSafeChange(t *testing.T) {
+	e := engineWithRule(t)
+	res, err := Gate(e, Change{
+		Summary:   "add session tracker with proper guard",
+		OldSource: sysFixed,
+		NewSource: sysSafeChange,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("safe change blocked:\n%s", res.Summary())
+	}
+}
+
+func TestGateBlocksBrokenBuild(t *testing.T) {
+	e := engineWithRule(t)
+	res, err := Gate(e, Change{NewSource: "class Broken {"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Error("broken build passed")
+	}
+	if !strings.Contains(res.Summary(), "does not build") {
+		t.Errorf("summary:\n%s", res.Summary())
+	}
+}
+
+func TestGateWarnsOnUncoveredPath(t *testing.T) {
+	e := engineWithRule(t)
+	tests := []ticket.TestCase{{
+		Name:        "T.unrelated",
+		Description: "unrelated arithmetic",
+		Class:       "T",
+		Method:      "unrelated",
+		Source: `
+class T {
+	static void unrelated() {
+		assertTrue(true, "ok");
+	}
+}
+`,
+	}}
+	res, err := Gate(e, Change{NewSource: sysSafeChange}, tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("blocked:\n%s", res.Summary())
+	}
+	warned := false
+	for _, f := range res.Findings {
+		if f.Severity == "WARN" && strings.Contains(f.Text, "no selected test") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("expected uncovered-path warning:\n%s", res.Summary())
+	}
+}
+
+// TestGateBlocksPostconditionViolation: an authored contract with an
+// ensure-clause blocks a change whose implementation stops establishing the
+// postcondition.
+func TestGateBlocksPostconditionViolation(t *testing.T) {
+	source := `
+class Txn {
+	string id;
+	bool applied;
+}
+
+class Ledger {
+	list entries;
+
+	void init() {
+		entries = newList();
+	}
+
+	void commit(Txn t) {
+		entries.add(t.id);
+		t.applied = true;
+	}
+}
+
+class API {
+	Ledger ledger;
+
+	void init(Ledger l) {
+		ledger = l;
+	}
+
+	void submit(Txn t) {
+		if (t == null) {
+			throw "NullTxn";
+		}
+		ledger.commit(t);
+	}
+}
+`
+	broken := strings.Replace(source, "\t\tentries.add(t.id);\n\t\tt.applied = true;", "\t\tentries.add(t.id);", 1)
+	if broken == source {
+		t.Fatal("mutation failed")
+	}
+	sems, err := contract.ParseSpec(`
+rule txn-applied
+description: Committing a transaction marks it applied.
+target: Ledger.commit
+bind: t = arg 0
+require: t != null
+ensure: t.applied == true
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New()
+	for _, sem := range sems {
+		if err := e.Registry.Add(sem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []ticket.TestCase{{
+		Name:        "LedgerTest.submitCommits",
+		Description: "submitting a transaction commits it to the ledger applied",
+		Class:       "LedgerTest", Method: "submitCommits",
+		Source: `
+class LedgerTest {
+	static void submitCommits() {
+		Ledger l = new Ledger();
+		API api = new API(l);
+		Txn t = new Txn();
+		t.id = "tx1";
+		api.submit(t);
+	}
+}
+`,
+	}}
+	good, err := Gate(e, Change{Summary: "baseline", NewSource: source}, tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.Pass {
+		t.Fatalf("baseline blocked:\n%s", good.Summary())
+	}
+	bad, err := Gate(e, Change{Summary: "drop applied flag", OldSource: source, NewSource: broken}, tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Pass {
+		t.Fatalf("postcondition regression passed the gate:\n%s", bad.Summary())
+	}
+	if !strings.Contains(bad.Summary(), "postcondition violated") {
+		t.Errorf("summary:\n%s", bad.Summary())
+	}
+}

@@ -1,0 +1,208 @@
+package concolic
+
+import (
+	"strings"
+
+	"lisa/internal/interp"
+	"lisa/internal/smt"
+)
+
+// Tri is a three-valued truth: a concrete evaluation may be unknown when a
+// path does not resolve in the runtime state.
+type Tri int
+
+// Tri values.
+const (
+	TriUnknown Tri = iota
+	TriFalse
+	TriTrue
+)
+
+// String renders the tri-state.
+func (t Tri) String() string {
+	switch t {
+	case TriTrue:
+		return "true"
+	case TriFalse:
+		return "false"
+	}
+	return "unknown"
+}
+
+// triOf converts a bool.
+func triOf(b bool) Tri {
+	if b {
+		return TriTrue
+	}
+	return TriFalse
+}
+
+// RootResolver maps a root variable name to its runtime value.
+type RootResolver func(root string) (interp.Value, bool)
+
+// FrameResolver resolves roots in an interpreter frame (local, parameter,
+// or receiver field).
+func FrameResolver(fr *interp.Frame) RootResolver {
+	return func(root string) (interp.Value, bool) {
+		if v, ok := fr.Lookup(root); ok {
+			return v, true
+		}
+		if fr.This != nil {
+			if v, ok := fr.This.Fields[root]; ok {
+				return v, true
+			}
+		}
+		return nil, false
+	}
+}
+
+// resolvePath walks a dotted path through the runtime state: the root
+// resolves through the resolver, the remaining segments through object
+// fields. The normalized vocabulary produced by the translator is already
+// field-based, so no getter evaluation is needed.
+func resolvePath(path string, resolve RootResolver) (interp.Value, bool) {
+	segs := strings.Split(path, ".")
+	cur, ok := resolve(segs[0])
+	if !ok {
+		return nil, false
+	}
+	for _, seg := range segs[1:] {
+		obj, isObj := cur.(*interp.Object)
+		if !isObj {
+			return nil, false
+		}
+		v, ok := obj.Fields[seg]
+		if !ok {
+			return nil, false
+		}
+		cur = v
+	}
+	return cur, true
+}
+
+// EvalConcrete evaluates a predicate formula against the runtime state of a
+// frame — the "runtime invariant monitor" view of a contract. Paths that do
+// not resolve yield unknown, which propagates through the connectives in
+// three-valued logic.
+func EvalConcrete(f smt.Formula, fr *interp.Frame) Tri {
+	return EvalConcreteWith(f, FrameResolver(fr))
+}
+
+// EvalConcreteWith evaluates a predicate formula resolving roots through an
+// arbitrary resolver (e.g. values captured at an earlier observation point;
+// heap objects stay live, so field reads reflect the current state).
+func EvalConcreteWith(f smt.Formula, resolve RootResolver) Tri {
+	switch n := f.(type) {
+	case *smt.Const:
+		return triOf(n.Value)
+	case *smt.AtomF:
+		return evalAtomConcrete(n.Atom, resolve)
+	case *smt.Not:
+		switch EvalConcreteWith(n.X, resolve) {
+		case TriTrue:
+			return TriFalse
+		case TriFalse:
+			return TriTrue
+		}
+		return TriUnknown
+	case *smt.And:
+		out := TriTrue
+		for _, x := range n.Xs {
+			switch EvalConcreteWith(x, resolve) {
+			case TriFalse:
+				return TriFalse
+			case TriUnknown:
+				out = TriUnknown
+			}
+		}
+		return out
+	case *smt.Or:
+		out := TriFalse
+		for _, x := range n.Xs {
+			switch EvalConcreteWith(x, resolve) {
+			case TriTrue:
+				return TriTrue
+			case TriUnknown:
+				out = TriUnknown
+			}
+		}
+		return out
+	}
+	return TriUnknown
+}
+
+func evalAtomConcrete(a smt.Atom, resolve RootResolver) Tri {
+	switch a.Kind {
+	case smt.AtomBool:
+		v, ok := resolvePath(a.Path, resolve)
+		if !ok {
+			return TriUnknown
+		}
+		b, isBool := v.(interp.Bool)
+		if !isBool {
+			return TriUnknown
+		}
+		return triOf(bool(b))
+	case smt.AtomNull:
+		v, ok := resolvePath(a.Path, resolve)
+		if !ok {
+			return TriUnknown
+		}
+		return triOf(interp.IsNull(v))
+	case smt.AtomCmpC:
+		v, ok := resolvePath(a.Path, resolve)
+		if !ok {
+			return TriUnknown
+		}
+		i, isInt := v.(interp.Int)
+		if !isInt {
+			return TriUnknown
+		}
+		return triOf(cmpInts(int64(i), a.Op, a.IntVal))
+	case smt.AtomCmpV:
+		v1, ok1 := resolvePath(a.Path, resolve)
+		v2, ok2 := resolvePath(a.Path2, resolve)
+		if !ok1 || !ok2 {
+			return TriUnknown
+		}
+		i1, isInt1 := v1.(interp.Int)
+		i2, isInt2 := v2.(interp.Int)
+		if !isInt1 || !isInt2 {
+			return TriUnknown
+		}
+		return triOf(cmpInts(int64(i1), a.Op, int64(i2)))
+	case smt.AtomStrEq:
+		v, ok := resolvePath(a.Path, resolve)
+		if !ok {
+			return TriUnknown
+		}
+		s, isStr := v.(interp.Str)
+		if !isStr {
+			return TriUnknown
+		}
+		eq := string(s) == a.StrVal
+		if a.Op == smt.OpNe {
+			return triOf(!eq)
+		}
+		return triOf(eq)
+	}
+	return TriUnknown
+}
+
+func cmpInts(x int64, op smt.CmpOp, y int64) bool {
+	switch op {
+	case smt.OpEq:
+		return x == y
+	case smt.OpNe:
+		return x != y
+	case smt.OpLt:
+		return x < y
+	case smt.OpLe:
+		return x <= y
+	case smt.OpGt:
+		return x > y
+	case smt.OpGe:
+		return x >= y
+	}
+	return false
+}

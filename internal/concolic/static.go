@@ -1,0 +1,555 @@
+package concolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lisa/internal/contract"
+	"lisa/internal/minij"
+	"lisa/internal/smt"
+)
+
+// GuardStep records one branch decision along a static path, for reports.
+type GuardStep struct {
+	Guard string // canonical guard text
+	Taken bool
+	Pos   minij.Pos
+}
+
+// String renders the step.
+func (g GuardStep) String() string {
+	if g.Taken {
+		return g.Guard
+	}
+	return "!(" + g.Guard + ")"
+}
+
+// StaticPath is one intraprocedural branch path from the entry of the
+// site's enclosing method to the target statement.
+type StaticPath struct {
+	Site *contract.Site
+	// Cond is the relevance-filtered path condition: the conjunction of
+	// recorded guard formulas whose roots intersect the slot operand roots
+	// (the paper's pruning).
+	Cond smt.Formula
+	// FullCond is the unfiltered path condition (for the pruning ablation).
+	FullCond smt.Formula
+	// Bindings maps slot names to their operand paths at emission.
+	Bindings map[string]string
+	// Guards lists the branch decisions along the path in order.
+	Guards []GuardStep
+}
+
+// String renders the path's decisions.
+func (p *StaticPath) String() string {
+	if len(p.Guards) == 0 {
+		return "(unconditional)"
+	}
+	parts := make([]string, len(p.Guards))
+	for i, g := range p.Guards {
+		parts[i] = g.String()
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// Options configure static path enumeration.
+type Options struct {
+	// MaxPaths bounds emitted paths per site (0 = DefaultMaxPaths).
+	MaxPaths int
+	// NoPrune disables relevance filtering, so Cond equals FullCond
+	// (the pruning ablation).
+	NoPrune bool
+}
+
+// DefaultMaxPaths bounds path enumeration per site.
+const DefaultMaxPaths = 512
+
+// StaticPaths enumerates the intraprocedural branch paths of the site's
+// enclosing method that reach the target statement, collecting translated
+// guard conditions. Loops contribute at most one iteration per path (their
+// guards are recorded once on entry); guards outside the predicate fragment
+// fork without contributing a constraint, exactly like the paper's
+// "skipped" branches. Paths are deduplicated by their contribution: two
+// branch histories with the same filtered condition and bindings are one
+// logical path.
+func StaticPaths(prog *minij.Program, site *contract.Site, opts Options) (paths []*StaticPath, truncated bool) {
+	return staticPathsFrom(prog, site, opts, []*sframe{newSFrame(prog)})
+}
+
+// staticPathsFrom enumerates paths to the site's statement starting from
+// the given seed states (each carrying conditions inherited from callers).
+func staticPathsFrom(prog *minij.Program, site *contract.Site, opts Options, seeds []*sframe) (paths []*StaticPath, truncated bool) {
+	maxPaths := opts.MaxPaths
+	if maxPaths <= 0 {
+		maxPaths = DefaultMaxPaths
+	}
+	collector := &siteCollector{site: site, opts: opts, seen: map[string]bool{}}
+	trunc := false
+	for _, seed := range seeds {
+		w := &staticWalker{
+			prog:     prog,
+			method:   site.Method,
+			targetID: site.Stmt.ID(),
+			maxPaths: maxPaths,
+			emit:     collector.emit,
+		}
+		w.walkSeq(site.Method.Body.Stmts, 0, seed, walkCtx{}, func(*sframe) {})
+		trunc = trunc || w.trunc
+	}
+	sort.Slice(collector.out, func(i, j int) bool {
+		return collector.out[i].Cond.String() < collector.out[j].Cond.String()
+	})
+	return collector.out, trunc
+}
+
+// walkStatesTo enumerates the symbolic states reaching an arbitrary target
+// statement of a method from the given seeds (used by chain analysis to
+// reach call sites of the next frame).
+func walkStatesTo(prog *minij.Program, m *minij.Method, targetID, maxStates int, seeds []*sframe) (states []*sframe, truncated bool) {
+	trunc := false
+	for _, seed := range seeds {
+		w := &staticWalker{
+			prog:     prog,
+			method:   m,
+			targetID: targetID,
+			maxPaths: maxStates,
+			emit: func(st *sframe) {
+				if len(states) < maxStates {
+					states = append(states, st.clone())
+				}
+			},
+		}
+		w.walkSeq(m.Body.Stmts, 0, seed, walkCtx{}, func(*sframe) {})
+		trunc = trunc || w.trunc
+		if len(states) >= maxStates {
+			return states, true
+		}
+	}
+	return states, trunc
+}
+
+// siteCollector converts emitted walker states into deduplicated
+// StaticPaths with slot bindings and relevance filtering.
+type siteCollector struct {
+	site *contract.Site
+	opts Options
+	seen map[string]bool
+	out  []*StaticPath
+}
+
+func (c *siteCollector) emit(st *sframe) {
+	bindings := map[string]string{}
+	relevant := map[string]bool{}
+	for slot := range c.site.Semantic.Target.Bind {
+		operand, ok := c.site.Bindings[slot]
+		if !ok {
+			continue
+		}
+		if t, tok := translateTerm(operand, st); tok && t.isPath {
+			bindings[slot] = t.path
+			relevant[smt.Root(t.path)] = true
+		}
+	}
+	var filtered, full []smt.Formula
+	var guards []GuardStep
+	for _, rc := range st.conds {
+		full = append(full, rc.f)
+		keep := c.opts.NoPrune
+		if !keep {
+			for r := range smt.Roots(rc.f) {
+				if relevant[r] {
+					keep = true
+					break
+				}
+			}
+		}
+		if keep {
+			filtered = append(filtered, rc.f)
+			guards = append(guards, rc.guard)
+		}
+	}
+	// Known constants over relevant paths are state facts guaranteed on
+	// this path (a guard mentioning them folded during translation); they
+	// belong in the path condition or the complement check would treat
+	// them as unconstrained.
+	facts := constFacts(st, relevant)
+	filtered = append(filtered, facts...)
+	full = append(full, facts...)
+	p := &StaticPath{
+		Site:     c.site,
+		Cond:     smt.NewAnd(filtered...),
+		FullCond: smt.NewAnd(full...),
+		Bindings: bindings,
+		Guards:   guards,
+	}
+	key := p.dedupKey()
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.out = append(c.out, p)
+}
+
+// constFacts materializes the environment's constant knowledge about
+// relevant paths as formulas, in deterministic order.
+func constFacts(st *sframe, relevant map[string]bool) []smt.Formula {
+	var keys []string
+	for path := range st.consts {
+		if relevant[smt.Root(path)] {
+			keys = append(keys, path)
+		}
+	}
+	sort.Strings(keys)
+	var out []smt.Formula
+	for _, path := range keys {
+		c := st.consts[path]
+		switch c.Kind {
+		case minij.TypeBool:
+			if c.Bool {
+				out = append(out, smt.NewAtom(smt.BoolAtom(path)))
+			} else {
+				out = append(out, smt.NewNot(smt.NewAtom(smt.BoolAtom(path))))
+			}
+		case minij.TypeInt:
+			out = append(out, smt.NewAtom(smt.CmpCAtom(path, smt.OpEq, c.Int)))
+		case minij.TypeString:
+			out = append(out, smt.NewAtom(smt.StrEqAtom(path, smt.OpEq, c.Str)))
+		case minij.TypeNull:
+			out = append(out, smt.NewAtom(smt.NullAtom(path)))
+		}
+	}
+	return out
+}
+
+// sframe is the symbolic state of one enumeration branch.
+type sframe struct {
+	prog     *minij.Program
+	aliases  map[string]string
+	consts   map[string]ConstVal
+	versions map[string]int
+	assigned map[string]bool
+	conds    []recordedCond
+}
+
+type recordedCond struct {
+	f     smt.Formula
+	guard GuardStep
+}
+
+func newSFrame(prog *minij.Program) *sframe {
+	return &sframe{
+		prog:     prog,
+		aliases:  map[string]string{},
+		consts:   map[string]ConstVal{},
+		versions: map[string]int{},
+		assigned: map[string]bool{},
+	}
+}
+
+func (st *sframe) clone() *sframe {
+	c := &sframe{
+		prog:     st.prog,
+		aliases:  make(map[string]string, len(st.aliases)),
+		consts:   make(map[string]ConstVal, len(st.consts)),
+		versions: make(map[string]int, len(st.versions)),
+		assigned: make(map[string]bool, len(st.assigned)),
+		conds:    make([]recordedCond, len(st.conds)),
+	}
+	for k, v := range st.aliases {
+		c.aliases[k] = v
+	}
+	for k, v := range st.consts {
+		c.consts[k] = v
+	}
+	for k, v := range st.versions {
+		c.versions[k] = v
+	}
+	for k, v := range st.assigned {
+		c.assigned[k] = v
+	}
+	copy(c.conds, st.conds)
+	return c
+}
+
+// PathOf implements Env: locals resolve through aliases and versioning;
+// unknown names are their own root.
+func (st *sframe) PathOf(name string) (string, bool) {
+	if p, ok := st.aliases[name]; ok {
+		return p, true
+	}
+	if v := st.versions[name]; v > 0 {
+		return fmt.Sprintf("%s#%d", name, v), true
+	}
+	return name, true
+}
+
+// ConstOf implements Env.
+func (st *sframe) ConstOf(path string) (ConstVal, bool) {
+	c, ok := st.consts[path]
+	return c, ok
+}
+
+// Program implements ProgramProvider, enabling getter normalization.
+func (st *sframe) Program() *minij.Program { return st.prog }
+
+// store records the effect of an assignment to name (a bare identifier).
+func (st *sframe) store(name string, value minij.Expr) {
+	// Invalidate previous knowledge about the old path of this name.
+	delete(st.aliases, name)
+	cur, _ := st.PathOf(name)
+	st.invalidate(cur)
+	first := !st.assigned[name]
+	st.assigned[name] = true
+	if c, ok := LiteralConst(value); ok {
+		st.consts[cur] = c
+		return
+	}
+	if t, ok := translateTerm(value, st); ok && t.isPath {
+		st.aliases[name] = t.path
+		return
+	}
+	// Opaque: the first binding keeps the bare name as its root; a
+	// rebinding bumps the version so stale atoms do not conflate values.
+	if !first {
+		st.versions[name]++
+	}
+}
+
+// storePath records the effect of an assignment to a field path.
+func (st *sframe) storePath(path string, value minij.Expr) {
+	st.invalidate(path)
+	if c, ok := LiteralConst(value); ok {
+		st.consts[path] = c
+	}
+}
+
+// invalidate forgets constants for path and everything below it.
+func (st *sframe) invalidate(path string) {
+	delete(st.consts, path)
+	prefix := path + "."
+	for k := range st.consts {
+		if strings.HasPrefix(k, prefix) {
+			delete(st.consts, k)
+		}
+	}
+}
+
+// walkCtx carries control-flow context: the continuation after the
+// innermost loop and the active catch handlers.
+type walkCtx struct {
+	loopExit func(*sframe)
+	handlers []handler
+}
+
+type handler struct {
+	catch *minij.Block
+	ctx   walkCtx
+	k     func(*sframe)
+}
+
+type staticWalker struct {
+	prog     *minij.Program
+	method   *minij.Method
+	targetID int
+	maxPaths int
+	emit     func(*sframe)
+	emitted  int
+	states   int
+	trunc    bool
+}
+
+func (w *staticWalker) full() bool {
+	return w.emitted >= w.maxPaths || w.states > w.maxPaths*64
+}
+
+// walkSeq walks stmts[i:], calling k when the sequence completes normally.
+func (w *staticWalker) walkSeq(stmts []minij.Stmt, i int, st *sframe, ctx walkCtx, k func(*sframe)) {
+	w.states++
+	if w.full() {
+		w.trunc = true
+		return
+	}
+	if i >= len(stmts) {
+		k(st)
+		return
+	}
+	s := stmts[i]
+	next := func(st2 *sframe) { w.walkSeq(stmts, i+1, st2, ctx, k) }
+	if s.ID() == w.targetID {
+		w.emitted++
+		w.emit(st)
+		return
+	}
+	switch n := s.(type) {
+	case *minij.Block:
+		w.walkSeq(n.Stmts, 0, st, ctx, next)
+	case *minij.VarDecl:
+		if n.Init != nil {
+			st.store(n.Name, n.Init)
+		} else {
+			st.store(n.Name, zeroLiteral(n.Type))
+		}
+		next(st)
+	case *minij.Assign:
+		switch t := n.Target.(type) {
+		case *minij.Ident:
+			st.store(t.Name, n.Value)
+		case *minij.FieldAccess:
+			if term, ok := translateTerm(t, st); ok && term.isPath {
+				st.storePath(term.path, n.Value)
+			}
+		}
+		next(st)
+	case *minij.If:
+		w.fork(n, n.Cond, st, true, func(st2 *sframe) {
+			w.walkSeq(n.Then.Stmts, 0, st2, ctx, next)
+		})
+		w.fork(n, n.Cond, st, false, func(st2 *sframe) {
+			if n.Else != nil {
+				w.walkSeq([]minij.Stmt{n.Else}, 0, st2, ctx, next)
+			} else {
+				next(st2)
+			}
+		})
+	case *minij.While:
+		w.walkLoop(n, n.Cond, n.Body, st, ctx, next)
+	case *minij.For:
+		st2 := st.clone()
+		if n.Init != nil {
+			w.applyEffect(n.Init, st2)
+		}
+		w.walkLoop(n, n.Cond, n.Body, st2, ctx, next)
+	case *minij.ForEach:
+		// Skip the loop entirely...
+		next(st.clone())
+		// ...or take one iteration with an opaque element binding.
+		st2 := st.clone()
+		if st2.assigned[n.Var] {
+			st2.versions[n.Var]++
+		}
+		st2.assigned[n.Var] = true
+		delete(st2.aliases, n.Var)
+		w.walkSeq(n.Body.Stmts, 0, st2, walkCtx{loopExit: next, handlers: ctx.handlers}, next)
+	case *minij.Return:
+		// The path leaves the method without reaching the target: drop.
+	case *minij.Throw:
+		w.unwind(st, ctx)
+	case *minij.Try:
+		inner := ctx
+		inner.handlers = append(append([]handler{}, ctx.handlers...), handler{catch: n.Catch, ctx: ctx, k: next})
+		w.walkSeq(n.Body.Stmts, 0, st, inner, next)
+	case *minij.Sync:
+		w.walkSeq(n.Body.Stmts, 0, st, ctx, next)
+	case *minij.ExprStmt:
+		next(st)
+	case *minij.Break, *minij.Continue:
+		// One-iteration unrolling: both exit the loop body.
+		if ctx.loopExit != nil {
+			ctx.loopExit(st)
+		}
+	default:
+		next(st)
+	}
+}
+
+// applyEffect applies a simple statement's state effect (for-init/post).
+func (w *staticWalker) applyEffect(s minij.Stmt, st *sframe) {
+	switch n := s.(type) {
+	case *minij.VarDecl:
+		if n.Init != nil {
+			st.store(n.Name, n.Init)
+		}
+	case *minij.Assign:
+		if t, ok := n.Target.(*minij.Ident); ok {
+			st.store(t.Name, n.Value)
+		}
+	}
+}
+
+// walkLoop unrolls a condition-guarded loop zero-or-one times.
+func (w *staticWalker) walkLoop(s minij.Stmt, cond minij.Expr, body *minij.Block, st *sframe, ctx walkCtx, next func(*sframe)) {
+	if cond != nil {
+		// Skip the loop: condition false.
+		w.fork(s, cond, st, false, next)
+		// One iteration: condition true, then exit unconditionally (the
+		// exit test after an executed iteration is deliberately not
+		// recorded; it would contradict the entry condition for loops
+		// whose counters we do not model).
+		w.fork(s, cond, st, true, func(st2 *sframe) {
+			w.walkSeq(body.Stmts, 0, st2, walkCtx{loopExit: next, handlers: ctx.handlers}, next)
+		})
+		return
+	}
+	// for(;;): the body must reach the target or the path dies.
+	w.walkSeq(body.Stmts, 0, st.clone(), walkCtx{loopExit: next, handlers: ctx.handlers}, next)
+}
+
+// fork explores one direction of a branch, recording the guard when it is
+// translatable.
+func (w *staticWalker) fork(s minij.Stmt, cond minij.Expr, st *sframe, taken bool, k func(*sframe)) {
+	st2 := st.clone()
+	if f, ok := Translate(cond, st2); ok {
+		if !taken {
+			f = smt.NNF(smt.NewNot(f))
+		}
+		// Constant-folded guards prune impossible directions outright.
+		if c, isConst := f.(*smt.Const); isConst {
+			if !c.Value {
+				return
+			}
+		} else {
+			st2.conds = append(st2.conds, recordedCond{
+				f:     f,
+				guard: GuardStep{Guard: minij.CanonExpr(cond), Taken: taken, Pos: cond.Pos()},
+			})
+		}
+	}
+	k(st2)
+}
+
+// unwind transfers control to the innermost catch handler, or drops the
+// path when the exception escapes the method.
+func (w *staticWalker) unwind(st *sframe, ctx walkCtx) {
+	if len(ctx.handlers) == 0 {
+		return
+	}
+	h := ctx.handlers[len(ctx.handlers)-1]
+	w.walkSeq(h.catch.Stmts, 0, st.clone(), h.ctx, h.k)
+}
+
+// Key fingerprints the path's logical contribution (bindings plus filtered
+// condition); paths from different chains with the same key are one
+// finding.
+func (p *StaticPath) Key() string { return p.dedupKey() }
+
+func (p *StaticPath) dedupKey() string {
+	var sb strings.Builder
+	slots := make([]string, 0, len(p.Bindings))
+	for s := range p.Bindings {
+		slots = append(slots, s)
+	}
+	sort.Strings(slots)
+	for _, s := range slots {
+		sb.WriteString(s)
+		sb.WriteByte('=')
+		sb.WriteString(p.Bindings[s])
+		sb.WriteByte(';')
+	}
+	sb.WriteString(p.Cond.String())
+	return sb.String()
+}
+
+// zeroLiteral synthesizes the literal for a declared type's zero value.
+func zeroLiteral(t minij.Type) minij.Expr {
+	switch t.Kind {
+	case minij.TypeInt:
+		return &minij.IntLit{Value: 0}
+	case minij.TypeBool:
+		return &minij.BoolLit{Value: false}
+	case minij.TypeString:
+		return &minij.StrLit{Value: ""}
+	default:
+		return &minij.NullLit{}
+	}
+}

@@ -1,0 +1,68 @@
+package concolic
+
+import (
+	"lisa/internal/contract"
+	"lisa/internal/smt"
+)
+
+// Verdict classifies one path against a semantic.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictVerified: the path condition entails the checker; the path
+	// cannot violate the semantic.
+	VerdictVerified Verdict = iota
+	// VerdictViolation: the path condition is satisfiable together with
+	// the checker's complement — some state reaching the target on this
+	// path breaks the rule (including by omitting a required check).
+	VerdictViolation
+	// VerdictUnknown: slot operands could not be normalized to paths;
+	// the developer must review.
+	VerdictUnknown
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictVerified:
+		return "VERIFIED"
+	case VerdictViolation:
+		return "VIOLATION"
+	}
+	return "UNKNOWN"
+}
+
+// CheckerFor instantiates a semantic's precondition over concrete operand
+// paths (one per slot). ok is false when any slot lacks a binding.
+func CheckerFor(sem *contract.Semantic, bindings map[string]string) (smt.Formula, bool) {
+	f := sem.Pre
+	for slot := range sem.Target.Bind {
+		path, ok := bindings[slot]
+		if !ok {
+			return nil, false
+		}
+		f = smt.RenameRoot(f, slot, path)
+	}
+	return f, true
+}
+
+// CheckPath applies the paper's complement check: the path violates the
+// semantic iff pathCond ∧ ¬checker is satisfiable. Conditions missing from
+// pathCond are unconstrained, so an omitted guard (e.g. a forgotten
+// s.ttl > 0 test) surfaces as a violation rather than passing silently.
+func CheckPath(pathCond, checker smt.Formula) Verdict {
+	if smt.SAT(smt.NewAnd(pathCond, smt.Complement(checker))) {
+		return VerdictViolation
+	}
+	return VerdictVerified
+}
+
+// CheckStaticPath computes the verdict of one enumerated static path.
+func CheckStaticPath(p *StaticPath) Verdict {
+	checker, ok := CheckerFor(p.Site.Semantic, p.Bindings)
+	if !ok {
+		return VerdictUnknown
+	}
+	return CheckPath(p.Cond, checker)
+}

@@ -1,0 +1,586 @@
+// Package core implements the LISA engine: the end-to-end workflow of
+// Figure 5. The engine iterates over failure tickets, infers low-level
+// semantics from each bundle, optionally cross-checks them against actual
+// behavior, registers the survivors as executable contracts, and asserts
+// every registered contract across a codebase — statically (execution
+// trees + path conditions + the complement check) and dynamically
+// (test-driven concolic replay with RAG-style test selection).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lisa/internal/callgraph"
+	"lisa/internal/concolic"
+	"lisa/internal/contract"
+	"lisa/internal/infer"
+	"lisa/internal/interp"
+	"lisa/internal/minij"
+	"lisa/internal/smt"
+	"lisa/internal/testsel"
+	"lisa/internal/ticket"
+)
+
+// Engine is the LISA pipeline.
+type Engine struct {
+	// Inferencer extracts semantics from tickets (stage 1 of Figure 5).
+	Inferencer infer.Inferencer
+	// Registry stores the executable contracts.
+	Registry *contract.Registry
+	// CrossCheck validates mined semantics against the ticket's fixed
+	// source before registering them (the §5 defence).
+	CrossCheck bool
+	// TestTopK is how many tests the selector picks per path (default 3).
+	TestTopK int
+	// MaxStaticPaths bounds per-site path enumeration.
+	MaxStaticPaths int
+	// NoPrune disables relevant-variable pruning (ablation).
+	NoPrune bool
+	// IntraOnly disables interprocedural condition inheritance along
+	// execution-tree chains (ablation: guards in callers are then
+	// invisible, flagging internal helpers their callers protect).
+	IntraOnly bool
+	// RunAllTests skips similarity-based selection and replays the whole
+	// suite (ablation for the test-selection stage).
+	RunAllTests bool
+}
+
+// New returns an engine with the deterministic patch analyzer (with
+// generalization enabled), an empty registry, and cross-checking on.
+func New() *Engine {
+	return &Engine{
+		Inferencer: &infer.PatchAnalyzer{Generalize: true},
+		Registry:   contract.NewRegistry(),
+		CrossCheck: true,
+		TestTopK:   3,
+	}
+}
+
+// TicketReport is the outcome of processing one failure ticket.
+type TicketReport struct {
+	Ticket     *ticket.Ticket
+	Result     *infer.Result
+	Registered []*contract.Semantic
+	Rejected   []infer.CrossCheckResult
+	// AlreadyKnown lists semantics equivalent to ones inferred from an
+	// earlier ticket — the paper's recurring pattern: the regression
+	// violated the same low-level semantic as the original incident.
+	AlreadyKnown []*contract.Semantic
+}
+
+// ProcessTicket runs inference on a ticket bundle and registers the
+// resulting contracts (stages "infer" and "translate" of the workflow).
+// Semantics equivalent to an already-registered rule are reported as
+// already known rather than registered twice.
+func (e *Engine) ProcessTicket(tk *ticket.Ticket) (*TicketReport, error) {
+	res, err := e.Inferencer.Infer(tk)
+	if err != nil {
+		return nil, err
+	}
+	rep := &TicketReport{Ticket: tk, Result: res}
+	sems := res.Semantics
+	if e.CrossCheck {
+		kept, rejected := infer.FilterGrounded(res, tk)
+		sems = kept
+		rep.Rejected = rejected
+	}
+	for _, sem := range sems {
+		if known := e.findEquivalent(sem); known != nil {
+			known.Origin = append(known.Origin, sem.Origin...)
+			rep.AlreadyKnown = append(rep.AlreadyKnown, known)
+			continue
+		}
+		if err := e.Registry.Add(sem); err != nil {
+			return nil, fmt.Errorf("register %s: %w", sem.ID, err)
+		}
+		rep.Registered = append(rep.Registered, sem)
+	}
+	return rep, nil
+}
+
+// findEquivalent returns a registered semantic equivalent to sem, if any.
+func (e *Engine) findEquivalent(sem *contract.Semantic) *contract.Semantic {
+	for _, ex := range e.Registry.All() {
+		if ex.Kind != sem.Kind {
+			continue
+		}
+		switch sem.Kind {
+		case contract.StructuralKind:
+			if ex.Structural.Name() != sem.Structural.Name() {
+				continue
+			}
+			if stringSetsEqual(structuralScope(ex.Structural), structuralScope(sem.Structural)) {
+				return ex
+			}
+		case contract.StateKind:
+			if ex.Target.Callee != sem.Target.Callee {
+				continue
+			}
+			if !bindingsIntEqual(ex.Target.Bind, sem.Target.Bind) {
+				continue
+			}
+			if smt.Equiv(canonicalPre(ex), canonicalPre(sem)) {
+				return ex
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalPre renames slot roots to their operand positions so two rules
+// over differently named slots compare structurally.
+func canonicalPre(sem *contract.Semantic) smt.Formula {
+	f := sem.Pre
+	for slot, idx := range sem.Target.Bind {
+		f = smt.RenameRoot(f, slot, fmt.Sprintf("$op%d", idx))
+	}
+	return f
+}
+
+// structuralScope extracts a structural rule's method restriction, if any.
+func structuralScope(rule contract.StructuralRule) map[string]bool {
+	switch r := rule.(type) {
+	case contract.NoBlockingInSync:
+		return r.Only
+	case contract.NoNestedSync:
+		return r.Only
+	}
+	return nil
+}
+
+func stringSetsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func bindingsIntEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Compare the multisets of operand positions.
+	counts := map[int]int{}
+	for _, v := range a {
+		counts[v]++
+	}
+	for _, v := range b {
+		counts[v]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PathReport is the assertion outcome of one static path to one site.
+type PathReport struct {
+	Static  *concolic.StaticPath
+	Verdict concolic.Verdict
+	// CoveredBy lists tests whose dynamic execution matched this path.
+	CoveredBy []string
+	// DynamicVerdicts maps test name to its hit verdict on this path.
+	DynamicVerdicts map[string]concolic.Verdict
+	// PostViolatedBy lists tests whose replay reached this path but left
+	// the contract's postcondition Q false afterwards.
+	PostViolatedBy []string
+}
+
+// Covered reports whether any test exercised this path.
+func (p *PathReport) Covered() bool { return len(p.CoveredBy) > 0 }
+
+// SiteReport is the assertion outcome of one target-statement site.
+type SiteReport struct {
+	Site *contract.Site
+	// Chains are the entry→site call chains from the execution tree.
+	Chains        []callgraph.Path
+	TreeTruncated bool
+	Paths         []*PathReport
+	// SelectedTests are the tests chosen for this site, in rank order.
+	SelectedTests []string
+}
+
+// SemanticReport is the assertion outcome of one contract.
+type SemanticReport struct {
+	Semantic   *contract.Semantic
+	Sites      []*SiteReport
+	Structural []*contract.StructuralViolation
+	// StructuralConfirmedBy maps an index into Structural to the tests
+	// whose replay dynamically blocked inside the flagged method while a
+	// lock was held (the runtime-monitor confirmation of a static finding).
+	StructuralConfirmedBy map[int][]string
+	// SanityOK means at least one path verified — the paper keeps the
+	// "fixed" paths in the tree precisely so that a correct rule shows at
+	// least one verified path; a rule with none is suspect.
+	SanityOK bool
+}
+
+// Counts aggregates verdicts.
+type Counts struct {
+	Verified   int
+	Violations int
+	Unknown    int
+	Uncovered  int
+	// PostViolations counts dynamic hits whose postcondition Q failed.
+	PostViolations int
+}
+
+// AssertReport is the outcome of asserting every registered contract over
+// one codebase version.
+type AssertReport struct {
+	Semantics []*SemanticReport
+	Counts    Counts
+	// StageTimings records wall-clock per workflow stage.
+	StageTimings map[string]time.Duration
+	// TestsRun counts dynamic test executions.
+	TestsRun int
+	// StaticOnly marks reports produced without any test corpus.
+	StaticOnly bool
+}
+
+// Violations returns every violating path and structural finding rendered
+// as strings (for gates and logs).
+func (r *AssertReport) Violations() []string {
+	var out []string
+	for _, sr := range r.Semantics {
+		for _, v := range sr.Structural {
+			out = append(out, fmt.Sprintf("[%s] %s", sr.Semantic.ID, v))
+		}
+		for _, site := range sr.Sites {
+			for _, p := range site.Paths {
+				if p.Verdict == concolic.VerdictViolation {
+					out = append(out, fmt.Sprintf("[%s] %s path {%s}", sr.Semantic.ID, site.Site, p.Static))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Assert checks every registered contract against a codebase, optionally
+// replaying tests for dynamic confirmation. The returned report carries
+// per-path verdicts, coverage, and sanity status.
+func (e *Engine) Assert(source string, tests []ticket.TestCase) (*AssertReport, error) {
+	timings := map[string]time.Duration{}
+	stage := func(name string, f func() error) error {
+		t0 := time.Now()
+		err := f()
+		timings[name] += time.Since(t0)
+		return err
+	}
+
+	// Compile the system alone (for the class inventory) and the system
+	// plus tests (the analysis program, so statement IDs align between
+	// static and dynamic stages).
+	var progSys, progAll *minij.Program
+	full := source
+	for _, tc := range tests {
+		full += "\n" + tc.Source
+	}
+	if err := stage("compile", func() error {
+		var err error
+		progSys, err = compileSource(source)
+		if err != nil {
+			return fmt.Errorf("system source: %w", err)
+		}
+		progAll, err = compileSource(full)
+		if err != nil {
+			return fmt.Errorf("system+tests: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	systemClasses := map[string]bool{}
+	for _, c := range progSys.Classes {
+		systemClasses[c.Name] = true
+	}
+
+	var graph *callgraph.Graph
+	_ = stage("callgraph", func() error {
+		graph = callgraph.Build(progAll)
+		return nil
+	})
+	// An entry function is a system method not called from system code
+	// (test callers do not disqualify it).
+	isEntry := func(m *minij.Method) bool {
+		if !systemClasses[m.Class.Name] {
+			return false
+		}
+		for _, cs := range graph.Callers[m] {
+			if systemClasses[cs.Caller.Class.Name] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var selector *testsel.Selector
+	_ = stage("test-index", func() error {
+		selector = testsel.New(tests)
+		return nil
+	})
+
+	report := &AssertReport{StageTimings: timings, StaticOnly: len(tests) == 0}
+	for _, sem := range e.Registry.All() {
+		sr := &SemanticReport{Semantic: sem}
+		report.Semantics = append(report.Semantics, sr)
+
+		if sem.Kind == contract.StructuralKind {
+			_ = stage("structural", func() error {
+				sr.Structural = sem.Structural.Check(progSys)
+				return nil
+			})
+			if len(sr.Structural) > 0 && len(tests) > 0 {
+				_ = stage("structural-replay", func() error {
+					sr.StructuralConfirmedBy = e.confirmStructural(progAll, sr.Structural, tests)
+					return nil
+				})
+			}
+			sr.SanityOK = true
+			report.Counts.Violations += len(sr.Structural)
+			continue
+		}
+
+		var sites []*contract.Site
+		_ = stage("match", func() error {
+			sites = contract.Match(sem, progAll)
+			return nil
+		})
+		for _, site := range sites {
+			if !systemClasses[site.Method.Class.Name] {
+				continue // calls from test code are not production paths
+			}
+			siteRep := &SiteReport{Site: site}
+			sr.Sites = append(sr.Sites, siteRep)
+
+			_ = stage("exec-tree", func() error {
+				tree := graph.ExecutionTree(site.Method, callgraph.TreeOptions{IsEntry: isEntry})
+				siteRep.Chains = tree.Paths
+				siteRep.TreeTruncated = tree.Truncated
+				return nil
+			})
+			_ = stage("static-paths", func() error {
+				opts := concolic.Options{MaxPaths: e.MaxStaticPaths, NoPrune: e.NoPrune}
+				chains := siteRep.Chains
+				if e.IntraOnly || len(chains) == 0 {
+					chains = []callgraph.Path{nil}
+				}
+				seen := map[string]bool{}
+				for _, chain := range chains {
+					var paths []*concolic.StaticPath
+					var truncated bool
+					if e.IntraOnly {
+						paths, truncated = concolic.StaticPaths(progAll, site, opts)
+					} else {
+						paths, truncated = concolic.ChainStaticPaths(progAll, site, chain, opts)
+					}
+					siteRep.TreeTruncated = siteRep.TreeTruncated || truncated
+					for _, p := range paths {
+						if seen[p.Key()] {
+							continue
+						}
+						seen[p.Key()] = true
+						siteRep.Paths = append(siteRep.Paths, &PathReport{
+							Static:          p,
+							Verdict:         concolic.CheckStaticPath(p),
+							DynamicVerdicts: map[string]concolic.Verdict{},
+						})
+					}
+				}
+				return nil
+			})
+		}
+
+		// Dynamic stage: select tests per site and replay them.
+		if len(tests) > 0 {
+			var selected []ticket.TestCase
+			_ = stage("test-select", func() error {
+				seen := map[string]bool{}
+				for _, siteRep := range sr.Sites {
+					var statics []*concolic.StaticPath
+					for _, p := range siteRep.Paths {
+						statics = append(statics, p.Static)
+					}
+					var chosen []ticket.TestCase
+					if e.RunAllTests {
+						chosen = selector.All()
+					} else {
+						chosen = selector.SelectForSite(siteRep.Site, siteRep.Chains, statics, e.topK())
+					}
+					for _, tc := range chosen {
+						siteRep.SelectedTests = append(siteRep.SelectedTests, tc.Name)
+						if !seen[tc.Name] {
+							seen[tc.Name] = true
+							selected = append(selected, tc)
+						}
+					}
+				}
+				return nil
+			})
+			_ = stage("concolic", func() error {
+				e.runDynamic(progAll, sr, selected)
+				return nil
+			})
+			report.TestsRun += len(selected)
+		}
+
+		// Aggregate verdicts and the sanity check.
+		for _, siteRep := range sr.Sites {
+			for _, p := range siteRep.Paths {
+				switch p.Verdict {
+				case concolic.VerdictVerified:
+					report.Counts.Verified++
+					sr.SanityOK = true
+				case concolic.VerdictViolation:
+					report.Counts.Violations++
+				default:
+					report.Counts.Unknown++
+				}
+				if !p.Covered() && !report.StaticOnly {
+					report.Counts.Uncovered++
+				}
+				report.Counts.PostViolations += len(p.PostViolatedBy)
+			}
+		}
+	}
+	return report, nil
+}
+
+// confirmStructural replays the test suite under the runtime blocking
+// monitor and attributes blocking-under-lock events to the statically
+// flagged methods.
+func (e *Engine) confirmStructural(prog *minij.Program, violations []*contract.StructuralViolation, tests []ticket.TestCase) map[int][]string {
+	confirmed := map[int][]string{}
+	for _, tc := range tests {
+		in := interp.New(prog)
+		mon := &contract.RuntimeBlockingMonitor{}
+		mon.Attach(in)
+		// Expected exceptions do not invalidate observed events.
+		_, _ = in.CallStatic(tc.Class, tc.Method)
+		for _, ev := range mon.Events {
+			for i, v := range violations {
+				if ev.Method == v.Method.FullName() && !containsString(confirmed[i], tc.Name) {
+					confirmed[i] = append(confirmed[i], tc.Name)
+				}
+			}
+		}
+	}
+	return confirmed
+}
+
+func (e *Engine) topK() int {
+	if e.TestTopK <= 0 {
+		return 3
+	}
+	return e.TestTopK
+}
+
+// runDynamic replays the selected tests, then attributes each site hit to
+// the static path it instantiates (matching bindings, and a dynamic
+// condition that entails the static one).
+func (e *Engine) runDynamic(prog *minij.Program, sr *SemanticReport, selected []ticket.TestCase) {
+	var sites []*contract.Site
+	siteReps := map[*contract.Site]*SiteReport{}
+	for _, siteRep := range sr.Sites {
+		sites = append(sites, siteRep.Site)
+		siteReps[siteRep.Site] = siteRep
+	}
+	if len(sites) == 0 {
+		return
+	}
+	runner := concolic.NewRunner(prog, sites, interp.Options{})
+	runner.SetNoPrune(e.NoPrune)
+	for _, tc := range selected {
+		// Tests may end in expected exceptions; hits before unwind count.
+		_ = runner.RunStatic(tc.Name, tc.Class, tc.Method)
+	}
+	for _, hit := range runner.Hits {
+		siteRep := siteReps[hit.Site]
+		if siteRep == nil {
+			continue
+		}
+		best := matchHitToPath(hit, siteRep.Paths)
+		if best == nil {
+			continue
+		}
+		if !containsString(best.CoveredBy, hit.TestName) {
+			best.CoveredBy = append(best.CoveredBy, hit.TestName)
+		}
+		best.DynamicVerdicts[hit.TestName] = hit.Verdict()
+		if hit.PostHolds == concolic.TriFalse && !containsString(best.PostViolatedBy, hit.TestName) {
+			best.PostViolatedBy = append(best.PostViolatedBy, hit.TestName)
+		}
+	}
+}
+
+// matchHitToPath finds the most specific static path whose condition the
+// hit's condition entails, with matching slot bindings.
+func matchHitToPath(hit *concolic.SiteHit, paths []*PathReport) *PathReport {
+	var best *PathReport
+	bestAtoms := -1
+	for _, p := range paths {
+		if !bindingsEqual(hit.Bindings, p.Static.Bindings) {
+			continue
+		}
+		if !smt.Implies(hit.Cond, p.Static.Cond) {
+			continue
+		}
+		n := len(smt.Atoms(p.Static.Cond))
+		if n > bestAtoms {
+			best, bestAtoms = p, n
+		}
+	}
+	return best
+}
+
+func bindingsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func compileSource(src string) (*minij.Program, error) {
+	prog, err := minij.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := minij.Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// SortedStageNames returns the timing keys in deterministic order.
+func (r *AssertReport) SortedStageNames() []string {
+	var names []string
+	for n := range r.StageTimings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

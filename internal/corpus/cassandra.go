@@ -1,0 +1,540 @@
+package corpus
+
+import "lisa/internal/ticket"
+
+// ---------------------------------------------------------------------------
+// Case 14: cassandra-tombstone-gc — a tombstone may be purged only after
+// gc_grace has elapsed on every replica; early purges resurrect deleted
+// rows.
+// ---------------------------------------------------------------------------
+
+const cassandraTombstoneBase = `
+class Tombstone {
+	string key;
+	bool gcEligible;
+
+	bool isGcEligible() {
+		return gcEligible;
+	}
+}
+
+class SSTableStore {
+	list purged;
+
+	void init() {
+		purged = newList();
+	}
+
+	void purge(Tombstone t) {
+		purged.add(t.key);
+	}
+
+	bool wasPurged(string key) {
+		return purged.contains(key);
+	}
+}
+
+class CompactionTask {
+	SSTableStore store;
+
+	void init(SSTableStore s) {
+		store = s;
+	}
+
+	void compactTombstone(Tombstone t) {
+		if (t == null || !t.isGcEligible()) {
+			return;
+		}
+		store.purge(t);
+	}
+}
+`
+
+const cassandraTombstoneSingleFixed = `
+class SinglePartitionCompaction {
+	SSTableStore store;
+
+	void init(SSTableStore s) {
+		store = s;
+	}
+
+	void compactPartition(Tombstone t) {
+		if (t == null || !t.isGcEligible()) {
+			return;
+		}
+		store.purge(t);
+	}
+}
+`
+
+func caseCassandraTombstoneGC() *ticket.Case {
+	v2 := cassandraTombstoneBase
+	v1 := weaken(v2, "	void compactTombstone(Tombstone t) {\n		if (t == null || !t.isGcEligible()) {",
+		"	void compactTombstone(Tombstone t) {\n		if (t == null) {")
+	v4 := cassandraTombstoneBase + cassandraTombstoneSingleFixed
+	v3 := weaken(v4, "	void compactPartition(Tombstone t) {\n		if (t == null || !t.isGcEligible()) {",
+		"	void compactPartition(Tombstone t) {\n		if (t == null) {")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "TombstoneTest.purgeEligibleTombstone",
+			Description: "compaction purges a tombstone after gc grace elapsed",
+			Class:       "TombstoneTest", Method: "purgeEligibleTombstone",
+			Source: `
+class TombstoneTest {
+	static void purgeEligibleTombstone() {
+		SSTableStore s = new SSTableStore();
+		CompactionTask c = new CompactionTask(s);
+		Tombstone t = new Tombstone();
+		t.key = "k1";
+		t.gcEligible = true;
+		c.compactTombstone(t);
+		assertTrue(s.wasPurged("k1"), "purged");
+	}
+}
+`,
+		},
+		{
+			Name:        "TombstoneTest.keepTombstoneBeforeGrace",
+			Description: "compaction keeps a tombstone whose gc grace has not elapsed",
+			Class:       "TombstoneTest", Method: "keepTombstoneBeforeGrace",
+			Source: `
+class TombstoneTest {
+	static void keepTombstoneBeforeGrace() {
+		SSTableStore s = new SSTableStore();
+		CompactionTask c = new CompactionTask(s);
+		Tombstone t = new Tombstone();
+		t.key = "k2";
+		t.gcEligible = false;
+		c.compactTombstone(t);
+		assertTrue(!s.wasPurged("k2"), "kept");
+	}
+}
+`,
+		},
+		{
+			Name:        "TombstoneTest.singlePartitionCompaction",
+			Description: "single partition compaction path handles per-partition tombstones",
+			Class:       "TombstoneTest", Method: "singlePartitionCompaction",
+			Source: `
+class TombstoneTest {
+	static void singlePartitionCompaction() {
+		SSTableStore s = new SSTableStore();
+		SinglePartitionCompaction c = new SinglePartitionCompaction(s);
+		Tombstone t = new Tombstone();
+		t.key = "k3";
+		t.gcEligible = false;
+		c.compactPartition(t);
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "cassandra-tombstone-gc",
+		System:  "cassandrasim",
+		Feature: "tombstone garbage collection",
+		Description: "Purging a tombstone before gc_grace elapses on all replicas resurrects deleted " +
+			"rows during the next repair.",
+		FirstReported: 2012, LastReported: 2021, FeatureBugCount: 14,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "CAS-6117",
+				Title: "Deleted rows resurrected after compaction",
+				Description: "Major compaction purged tombstones before gc_grace, so repairs copied the " +
+					"deleted rows back from replicas that never saw the delete.",
+				Discussion:      []string{"Purge only gc-eligible tombstones."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "CAS-10944",
+				Title: "Single-partition compaction purges early",
+				Description: "The single-partition compaction strategy repeats the CAS-6117 omission on " +
+					"its own purge path.",
+				Discussion:      []string{"Same gc-grace gate on every purge path."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Tests: tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 15: cassandra-hint-delivery — hints may be delivered only to live
+// nodes that are still cluster members; three delivery paths repeated the
+// mistake over the years.
+// ---------------------------------------------------------------------------
+
+const cassandraHintV6 = `
+class Endpoint {
+	string addr;
+	bool alive;
+
+	bool isAlive() {
+		return alive;
+	}
+}
+
+class HintTransport {
+	list sent;
+
+	void init() {
+		sent = newList();
+	}
+
+	void sendHint(Endpoint node, string hint) {
+		sent.add(node.addr + ":" + hint);
+	}
+}
+
+class HintDispatcher {
+	HintTransport transport;
+
+	void init(HintTransport t) {
+		transport = t;
+	}
+
+	void deliver(Endpoint node, string hint) {
+		if (node == null || !node.isAlive()) {
+			return;
+		}
+		transport.sendHint(node, hint);
+	}
+}
+
+class StartupReplayer {
+	HintTransport transport;
+
+	void init(HintTransport t) {
+		transport = t;
+	}
+
+	void replayOnStartup(Endpoint node, list hints) {
+		if (node == null || !node.isAlive()) {
+			return;
+		}
+		for (h in hints) {
+			transport.sendHint(node, h);
+		}
+	}
+}
+
+class DecommissionFlusher {
+	HintTransport transport;
+
+	void init(HintTransport t) {
+		transport = t;
+	}
+
+	void flushBeforeDecommission(Endpoint node, string hint) {
+		if (node == null || !node.isAlive()) {
+			return;
+		}
+		transport.sendHint(node, hint);
+	}
+}
+`
+
+func caseCassandraHintDelivery() *ticket.Case {
+	v6 := cassandraHintV6
+	v5 := weaken(v6, "	void flushBeforeDecommission(Endpoint node, string hint) {\n		if (node == null || !node.isAlive()) {",
+		"	void flushBeforeDecommission(Endpoint node, string hint) {\n		if (node == null) {")
+	v4 := v6
+	v3 := weaken(v4, "	void replayOnStartup(Endpoint node, list hints) {\n		if (node == null || !node.isAlive()) {",
+		"	void replayOnStartup(Endpoint node, list hints) {\n		if (node == null) {")
+	v2 := v4
+	v1 := weaken(v2, "	void deliver(Endpoint node, string hint) {\n		if (node == null || !node.isAlive()) {",
+		"	void deliver(Endpoint node, string hint) {\n		if (node == null) {")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "HintTest.deliverToLiveNode",
+			Description: "hints are delivered to a live endpoint",
+			Class:       "HintTest", Method: "deliverToLiveNode",
+			Source: `
+class HintTest {
+	static void deliverToLiveNode() {
+		HintTransport t = new HintTransport();
+		HintDispatcher d = new HintDispatcher(t);
+		Endpoint n = new Endpoint();
+		n.addr = "10.0.0.1";
+		n.alive = true;
+		d.deliver(n, "mutation1");
+		assertTrue(t.sent.size() == 1, "hint sent");
+	}
+}
+`,
+		},
+		{
+			Name:        "HintTest.skipDeadNode",
+			Description: "hints for a dead endpoint are parked not delivered",
+			Class:       "HintTest", Method: "skipDeadNode",
+			Source: `
+class HintTest {
+	static void skipDeadNode() {
+		HintTransport t = new HintTransport();
+		HintDispatcher d = new HintDispatcher(t);
+		Endpoint n = new Endpoint();
+		n.addr = "10.0.0.2";
+		n.alive = false;
+		d.deliver(n, "mutation2");
+		assertTrue(t.sent.size() == 0, "dead node skipped");
+	}
+}
+`,
+		},
+		{
+			Name:        "HintTest.startupReplay",
+			Description: "startup replay delivers queued hints for an endpoint",
+			Class:       "HintTest", Method: "startupReplay",
+			Source: `
+class HintTest {
+	static void startupReplay() {
+		HintTransport t = new HintTransport();
+		StartupReplayer r = new StartupReplayer(t);
+		Endpoint n = new Endpoint();
+		n.addr = "10.0.0.3";
+		n.alive = false;
+		list hints = newList();
+		hints.add("m3");
+		r.replayOnStartup(n, hints);
+	}
+}
+`,
+		},
+		{
+			Name:        "HintTest.decommissionFlush",
+			Description: "decommission flush forwards remaining hints before leaving the ring",
+			Class:       "HintTest", Method: "decommissionFlush",
+			Source: `
+class HintTest {
+	static void decommissionFlush() {
+		HintTransport t = new HintTransport();
+		DecommissionFlusher f = new DecommissionFlusher(t);
+		Endpoint n = new Endpoint();
+		n.addr = "10.0.0.4";
+		n.alive = false;
+		f.flushBeforeDecommission(n, "m4");
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "cassandra-hint-delivery",
+		System:  "cassandrasim",
+		Feature: "hinted handoff",
+		Description: "Delivering hints to dead or departed endpoints blocks the hint queue and loses " +
+			"mutations; all three delivery paths shipped without the liveness check at some point.",
+		FirstReported: 2011, LastReported: 2023, FeatureBugCount: 18,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "CAS-5179",
+				Title: "Hints delivered to dead node block the queue",
+				Description: "The dispatcher sent hints to endpoints that failure detection had already " +
+					"declared dead, stalling the handoff queue behind timeouts.",
+				Discussion:      []string{"Check liveness before sending."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "CAS-8285",
+				Title: "Startup replay sends hints to dead nodes",
+				Description: "The startup replay path repeats CAS-5179: queued hints go to endpoints " +
+					"that died while the node was down.",
+				Discussion:      []string{"Same liveness gate on replay."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+			{
+				ID:    "CAS-13440",
+				Title: "Decommission flush targets departed endpoints",
+				Description: "Third occurrence: the decommission flush forwards hints without the " +
+					"liveness check.",
+				Discussion:      []string{"The invariant spans every transport.sendHint caller."},
+				BuggySource:     v5,
+				FixedSource:     v6,
+				RegressionTests: []ticket.TestCase{tests[3]},
+			},
+		},
+		Tests: tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 16: cassandra-repair-stream — ranges may be streamed only within a
+// validated repair session; unvalidated streams ship inconsistent data.
+// ---------------------------------------------------------------------------
+
+const cassandraRepairBase = `
+class RepairSession {
+	string id;
+	bool validated;
+
+	bool isValidated() {
+		return validated;
+	}
+}
+
+class RangeStreamer {
+	list streamed;
+
+	void init() {
+		streamed = newList();
+	}
+
+	void streamRange(RepairSession s, string range) {
+		streamed.add(s.id + ":" + range);
+	}
+}
+
+class RepairJob {
+	RangeStreamer streamer;
+
+	void init(RangeStreamer st) {
+		streamer = st;
+	}
+
+	void runRepair(RepairSession s, string range) {
+		if (s == null || !s.isValidated()) {
+			throw "RepairValidationException";
+		}
+		streamer.streamRange(s, range);
+	}
+}
+`
+
+const cassandraRepairIncrementalFixed = `
+class IncrementalRepairJob {
+	RangeStreamer streamer;
+
+	void init(RangeStreamer st) {
+		streamer = st;
+	}
+
+	void runIncremental(RepairSession s, list ranges) {
+		if (s == null || !s.isValidated()) {
+			throw "RepairValidationException";
+		}
+		for (r in ranges) {
+			streamer.streamRange(s, r);
+		}
+	}
+}
+`
+
+func caseCassandraRepairStream() *ticket.Case {
+	v2 := cassandraRepairBase
+	v1 := weaken(v2, "	void runRepair(RepairSession s, string range) {\n		if (s == null || !s.isValidated()) {",
+		"	void runRepair(RepairSession s, string range) {\n		if (s == null) {")
+	v4 := cassandraRepairBase + cassandraRepairIncrementalFixed
+	v3 := weaken(v4, "	void runIncremental(RepairSession s, list ranges) {\n		if (s == null || !s.isValidated()) {",
+		"	void runIncremental(RepairSession s, list ranges) {\n		if (s == null) {")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "RepairTest.streamValidatedSession",
+			Description: "repair streams a range once the session validated",
+			Class:       "RepairTest", Method: "streamValidatedSession",
+			Source: `
+class RepairTest {
+	static void streamValidatedSession() {
+		RangeStreamer st = new RangeStreamer();
+		RepairJob j = new RepairJob(st);
+		RepairSession s = new RepairSession();
+		s.id = "rs1";
+		s.validated = true;
+		j.runRepair(s, "(0,100]");
+		assertTrue(st.streamed.size() == 1, "range streamed");
+	}
+}
+`,
+		},
+		{
+			Name:        "RepairTest.rejectUnvalidatedSession",
+			Description: "repair refuses to stream before validation completes",
+			Class:       "RepairTest", Method: "rejectUnvalidatedSession",
+			Source: `
+class RepairTest {
+	static void rejectUnvalidatedSession() {
+		RangeStreamer st = new RangeStreamer();
+		RepairJob j = new RepairJob(st);
+		RepairSession s = new RepairSession();
+		s.id = "rs2";
+		s.validated = false;
+		bool rejected = false;
+		try {
+			j.runRepair(s, "(100,200]");
+		} catch (e) {
+			rejected = true;
+		}
+		assertTrue(rejected, "unvalidated repair rejected");
+	}
+}
+`,
+		},
+		{
+			Name:        "RepairTest.incrementalStreamsRanges",
+			Description: "incremental repair streams every dirty range of the session",
+			Class:       "RepairTest", Method: "incrementalStreamsRanges",
+			Source: `
+class RepairTest {
+	static void incrementalStreamsRanges() {
+		RangeStreamer st = new RangeStreamer();
+		IncrementalRepairJob j = new IncrementalRepairJob(st);
+		RepairSession s = new RepairSession();
+		s.id = "rs3";
+		s.validated = false;
+		list ranges = newList();
+		ranges.add("(0,50]");
+		try {
+			j.runIncremental(s, ranges);
+		} catch (e) {
+			log(e);
+		}
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "cassandra-repair-stream",
+		System:  "cassandrasim",
+		Feature: "repair streaming",
+		Description: "Streaming ranges from an unvalidated repair session ships inconsistent data to " +
+			"replicas; the incremental path repeated the full-repair mistake.",
+		FirstReported: 2013, LastReported: 2020, FeatureBugCount: 10,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "CAS-7909",
+				Title: "Repair streams ranges before validation completes",
+				Description: "runRepair streamed ranges from sessions whose merkle-tree validation had " +
+					"not finished, shipping inconsistent data.",
+				Discussion:      []string{"Gate streaming on session validation."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "CAS-12877",
+				Title: "Incremental repair bypasses validation gate",
+				Description: "The incremental repair feature streams ranges without the validation " +
+					"check — CAS-7909 on the new path.",
+				Discussion:      []string{"Same validation gate on incremental streaming."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Tests: tests,
+	}
+}

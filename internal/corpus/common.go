@@ -1,0 +1,411 @@
+package corpus
+
+import "lisa/internal/ticket"
+
+// Shared infrastructure layers. Every case of a system embeds its system's
+// infrastructure classes (metrics, configuration, connection/registry
+// plumbing), mirroring how real subsystems sit on common server scaffolding.
+// Infrastructure never calls contract-protected operations, so it widens
+// the codebase and the test corpus without perturbing the rule analyses —
+// its tests are exactly the "unrelated tests" that similarity-based
+// selection must learn to skip.
+
+const zkInfraSrc = `
+class ZkMetrics {
+	map counters;
+
+	void init() {
+		counters = newMap();
+	}
+
+	void incr(string name) {
+		int cur = 0;
+		if (counters.has(name)) {
+			cur = counters.get(name);
+		}
+		counters.put(name, cur + 1);
+	}
+
+	int count(string name) {
+		if (counters.has(name)) {
+			return counters.get(name);
+		}
+		return 0;
+	}
+}
+
+class ZkServerConfig {
+	int tickTime;
+	int maxClientCnxns;
+	bool readOnlyMode;
+
+	void init() {
+		tickTime = 2000;
+		maxClientCnxns = 60;
+		readOnlyMode = false;
+	}
+
+	int sessionTimeoutFloor() {
+		return tickTime * 2;
+	}
+
+	int sessionTimeoutCeiling() {
+		return tickTime * 20;
+	}
+}
+
+class ZkConnectionTable {
+	map conns;
+	ZkMetrics metrics;
+
+	void init(ZkMetrics m) {
+		conns = newMap();
+		metrics = m;
+	}
+
+	void register(string id, string addr) {
+		conns.put(id, addr);
+		metrics.incr("connections.opened");
+	}
+
+	string lookup(string id) {
+		if (conns.has(id)) {
+			return conns.get(id);
+		}
+		return "";
+	}
+
+	bool drop(string id) {
+		if (!conns.has(id)) {
+			return false;
+		}
+		conns.remove(id);
+		metrics.incr("connections.closed");
+		return true;
+	}
+
+	int open() {
+		return conns.size();
+	}
+}
+`
+
+const hdfsInfraSrc = `
+class HdfsMetrics {
+	map counters;
+
+	void init() {
+		counters = newMap();
+	}
+
+	void incr(string name) {
+		int cur = 0;
+		if (counters.has(name)) {
+			cur = counters.get(name);
+		}
+		counters.put(name, cur + 1);
+	}
+
+	int count(string name) {
+		if (counters.has(name)) {
+			return counters.get(name);
+		}
+		return 0;
+	}
+}
+
+class HeartbeatMonitor {
+	map lastSeen;
+	int staleAfter;
+
+	void init(int staleMillis) {
+		lastSeen = newMap();
+		staleAfter = staleMillis;
+	}
+
+	void beat(string nodeId) {
+		lastSeen.put(nodeId, now());
+	}
+
+	bool isStale(string nodeId) {
+		if (!lastSeen.has(nodeId)) {
+			return true;
+		}
+		int seen = lastSeen.get(nodeId);
+		return now() - seen > staleAfter;
+	}
+
+	list staleNodes() {
+		list out = newList();
+		for (id in lastSeen.keys()) {
+			if (isStale(id)) {
+				out.add(id);
+			}
+		}
+		return out;
+	}
+}
+`
+
+const hbaseInfraSrc = `
+class HbaseMetrics {
+	map counters;
+
+	void init() {
+		counters = newMap();
+	}
+
+	void incr(string name) {
+		int cur = 0;
+		if (counters.has(name)) {
+			cur = counters.get(name);
+		}
+		counters.put(name, cur + 1);
+	}
+
+	int count(string name) {
+		if (counters.has(name)) {
+			return counters.get(name);
+		}
+		return 0;
+	}
+}
+
+class RegionBalancer {
+	map loadByServer;
+
+	void init() {
+		loadByServer = newMap();
+	}
+
+	void report(string server, int regions) {
+		loadByServer.put(server, regions);
+	}
+
+	string mostLoaded() {
+		string worst = "";
+		int max = -1;
+		for (srv in loadByServer.keys()) {
+			int load = loadByServer.get(srv);
+			if (load > max) {
+				max = load;
+				worst = srv;
+			}
+		}
+		return worst;
+	}
+
+	int imbalance() {
+		int max = 0;
+		int min = 1000000;
+		for (srv in loadByServer.keys()) {
+			int load = loadByServer.get(srv);
+			max = max(max, load);
+			min = min(min, load);
+		}
+		if (min > max) {
+			return 0;
+		}
+		return max - min;
+	}
+}
+`
+
+const cassInfraSrc = `
+class CassMetrics {
+	map counters;
+
+	void init() {
+		counters = newMap();
+	}
+
+	void incr(string name) {
+		int cur = 0;
+		if (counters.has(name)) {
+			cur = counters.get(name);
+		}
+		counters.put(name, cur + 1);
+	}
+
+	int count(string name) {
+		if (counters.has(name)) {
+			return counters.get(name);
+		}
+		return 0;
+	}
+}
+
+class GossipDigest {
+	map versions;
+
+	void init() {
+		versions = newMap();
+	}
+
+	void observe(string node, int generation) {
+		if (versions.has(node)) {
+			int cur = versions.get(node);
+			if (generation > cur) {
+				versions.put(node, generation);
+			}
+		} else {
+			versions.put(node, generation);
+		}
+	}
+
+	int generation(string node) {
+		if (versions.has(node)) {
+			return versions.get(node);
+		}
+		return 0;
+	}
+
+	int clusterSize() {
+		return versions.size();
+	}
+}
+`
+
+// infraSrc returns the infrastructure layer for a system.
+func infraSrc(system string) string {
+	switch system {
+	case "zksim":
+		return zkInfraSrc
+	case "hdfssim":
+		return hdfsInfraSrc
+	case "hbasesim":
+		return hbaseInfraSrc
+	case "cassandrasim":
+		return cassInfraSrc
+	}
+	return ""
+}
+
+// infraTests returns the infrastructure test cases for a system — part of
+// every case's suite, and deliberately unrelated to the contract features.
+func infraTests(system string) []ticket.TestCase {
+	switch system {
+	case "zksim":
+		return []ticket.TestCase{
+			{
+				Name:        "ZkInfraTest.connectionLifecycle",
+				Description: "connection table registers, resolves and drops client connections with metrics",
+				Class:       "ZkInfraTest", Method: "connectionLifecycle",
+				Source: `
+class ZkInfraTest {
+	static void connectionLifecycle() {
+		ZkMetrics m = new ZkMetrics();
+		ZkConnectionTable t = new ZkConnectionTable(m);
+		t.register("c1", "10.0.0.1:2181");
+		t.register("c2", "10.0.0.2:2181");
+		assertTrue(t.open() == 2, "two open");
+		assertTrue(t.lookup("c1") == "10.0.0.1:2181", "resolve");
+		assertTrue(t.drop("c1"), "drop");
+		assertTrue(!t.drop("c1"), "double drop refused");
+		assertTrue(m.count("connections.opened") == 2, "open metric");
+		assertTrue(m.count("connections.closed") == 1, "close metric");
+	}
+}
+`,
+			},
+			{
+				Name:        "ZkInfraTest.configTimeouts",
+				Description: "server config derives session timeout bounds from the tick time",
+				Class:       "ZkInfraTest", Method: "configTimeouts",
+				Source: `
+class ZkInfraTest {
+	static void configTimeouts() {
+		ZkServerConfig c = new ZkServerConfig();
+		assertTrue(c.sessionTimeoutFloor() == 4000, "floor");
+		assertTrue(c.sessionTimeoutCeiling() == 40000, "ceiling");
+		assertTrue(!c.readOnlyMode, "writable by default");
+	}
+}
+`,
+			},
+		}
+	case "hdfssim":
+		return []ticket.TestCase{
+			{
+				Name:        "HdfsInfraTest.heartbeatStaleness",
+				Description: "heartbeat monitor marks silent datanodes stale after the window",
+				Class:       "HdfsInfraTest", Method: "heartbeatStaleness",
+				Source: `
+class HdfsInfraTest {
+	static void heartbeatStaleness() {
+		HeartbeatMonitor hb = new HeartbeatMonitor(100);
+		hb.beat("dn1");
+		hb.beat("dn2");
+		assertTrue(!hb.isStale("dn1"), "fresh");
+		sleep(200);
+		hb.beat("dn2");
+		assertTrue(hb.isStale("dn1"), "dn1 went silent");
+		assertTrue(!hb.isStale("dn2"), "dn2 kept beating");
+		list stale = hb.staleNodes();
+		assertTrue(stale.size() == 1, "one stale node");
+	}
+}
+`,
+			},
+		}
+	case "hbasesim":
+		return []ticket.TestCase{
+			{
+				Name:        "HbaseInfraTest.balancerImbalance",
+				Description: "region balancer finds the most loaded server and the imbalance spread",
+				Class:       "HbaseInfraTest", Method: "balancerImbalance",
+				Source: `
+class HbaseInfraTest {
+	static void balancerImbalance() {
+		RegionBalancer b = new RegionBalancer();
+		b.report("rs1", 30);
+		b.report("rs2", 10);
+		b.report("rs3", 22);
+		assertTrue(b.mostLoaded() == "rs1", "rs1 heaviest");
+		assertTrue(b.imbalance() == 20, "spread 30-10");
+	}
+}
+`,
+			},
+		}
+	case "cassandrasim":
+		return []ticket.TestCase{
+			{
+				Name:        "CassInfraTest.gossipGenerations",
+				Description: "gossip digest keeps the maximum generation per node",
+				Class:       "CassInfraTest", Method: "gossipGenerations",
+				Source: `
+class CassInfraTest {
+	static void gossipGenerations() {
+		GossipDigest g = new GossipDigest();
+		g.observe("n1", 3);
+		g.observe("n1", 7);
+		g.observe("n1", 5);
+		g.observe("n2", 1);
+		assertTrue(g.generation("n1") == 7, "max generation kept");
+		assertTrue(g.generation("n3") == 0, "unknown node");
+		assertTrue(g.clusterSize() == 2, "two nodes");
+	}
+}
+`,
+			},
+		}
+	}
+	return nil
+}
+
+// finishCase attaches the system infrastructure to every source snapshot of
+// the case and appends the infrastructure tests to its suite.
+func finishCase(cs *ticket.Case) *ticket.Case {
+	infra := infraSrc(cs.System)
+	for _, tk := range cs.Tickets {
+		tk.BuggySource += infra
+		tk.FixedSource += infra
+	}
+	if cs.Latest != "" {
+		cs.Latest += infra
+	}
+	cs.Tests = append(cs.Tests, extraTests(cs.ID)...)
+	cs.Tests = append(cs.Tests, infraTests(cs.System)...)
+	return cs
+}

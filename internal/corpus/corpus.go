@@ -1,0 +1,57 @@
+// Package corpus holds the study corpus: 16 regression cases (34 bugs)
+// across four simulated cloud systems — zksim (ZooKeeper-like), hdfssim
+// (HDFS-like), hbasesim (HBase-like), and cassandrasim (Cassandra-like).
+//
+// Each case models one recurring failure area as a self-contained MiniJ
+// subsystem with a version history: the original bug, its fix, at least
+// one later regression of the same low-level semantic, and (for the two
+// §4-style cases) a "latest" head that still carries an unguarded path —
+// the previously unknown bugs LISA reported in HBase and HDFS.
+//
+// Version histories are derived by weakening guards in the newest source,
+// mirroring how the real patches strengthened them; every version is
+// validated to compile and resolve by the corpus test suite.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"lisa/internal/ticket"
+)
+
+// Load assembles the full study corpus.
+func Load() *ticket.Corpus {
+	c := &ticket.Corpus{}
+	// zksim
+	c.Add(finishCase(caseZkEphemeral()))
+	c.Add(finishCase(caseZkSyncSerialize()))
+	c.Add(finishCase(caseZkSessionExpiry()))
+	c.Add(finishCase(caseZkWatchTrigger()))
+	c.Add(finishCase(caseZkQuota()))
+	// hdfssim
+	c.Add(finishCase(caseHdfsObserverLocations()))
+	c.Add(finishCase(caseHdfsLeaseRecovery()))
+	c.Add(finishCase(caseHdfsDecommission()))
+	c.Add(finishCase(caseHdfsSafemode()))
+	// hbasesim
+	c.Add(finishCase(caseHbaseSnapshotTTL()))
+	c.Add(finishCase(caseHbaseRegionState()))
+	c.Add(finishCase(caseHbaseWalRoll()))
+	c.Add(finishCase(caseHbaseMetaCache()))
+	// cassandrasim
+	c.Add(finishCase(caseCassandraTombstoneGC()))
+	c.Add(finishCase(caseCassandraHintDelivery()))
+	c.Add(finishCase(caseCassandraRepairStream()))
+	return c
+}
+
+// weaken removes or replaces a guard fragment to derive an older (buggier)
+// version of a source. It panics if the fragment is absent, which the
+// corpus tests would surface immediately.
+func weaken(src, from, to string) string {
+	if !strings.Contains(src, from) {
+		panic(fmt.Sprintf("corpus: weaken: fragment %q not found", from))
+	}
+	return strings.Replace(src, from, to, 1)
+}

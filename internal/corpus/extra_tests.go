@@ -1,0 +1,391 @@
+package corpus
+
+import "lisa/internal/ticket"
+
+// extraTests returns additional feature tests per case, written against the
+// case's newest source. They broaden behavioral coverage beyond the
+// contract-adjacent scenarios and thicken the retrieval corpus the selector
+// ranks over.
+func extraTests(caseID string) []ticket.TestCase {
+	switch caseID {
+	case "zk-ephemeral":
+		return []ticket.TestCase{
+			{
+				Name:        "EphemeralTest.deleteRemovesNode",
+				Description: "deleting a node removes it from the tree and the ephemeral index",
+				Class:       "EphemeralTest", Method: "deleteRemovesNode",
+				Source: `
+class EphemeralTest {
+	static void deleteRemovesNode() {
+		DataTree t = new DataTree();
+		t.createNode("/cfg", "v1");
+		assertTrue(t.exists("/cfg"), "created");
+		t.deleteNode("/cfg");
+		assertTrue(!t.exists("/cfg"), "deleted");
+	}
+}
+`,
+			},
+			{
+				Name:        "EphemeralTest.createRejectsNullSession",
+				Description: "create request with a null session is rejected with SessionExpired",
+				Class:       "EphemeralTest", Method: "createRejectsNullSession",
+				Source: `
+class EphemeralTest {
+	static void createRejectsNullSession() {
+		DataTree t = new DataTree();
+		PrepRequestProcessor p = new PrepRequestProcessor(t);
+		Session none = null;
+		bool rejected = false;
+		try {
+			p.pRequest2TxnCreate("/x", none, true);
+		} catch (e) {
+			rejected = true;
+		}
+		assertTrue(rejected, "null session rejected");
+	}
+}
+`,
+			},
+		}
+	case "zk-sync-serialize":
+		return []ticket.TestCase{
+			{
+				Name:        "SyncTest.repeatedSnapshotsCount",
+				Description: "each snapshot pass increments the serialization counter",
+				Class:       "SyncTest", Method: "repeatedSnapshotsCount",
+				Source: `
+class SyncTest {
+	static void repeatedSnapshotsCount() {
+		SyncRequestProcessor sp = new SyncRequestProcessor();
+		sp.addNode("/a");
+		sp.serializeNode("/");
+		sp.serializeNode("/");
+		assertTrue(sp.scount == 2, "two passes");
+	}
+}
+`,
+			},
+		}
+	case "zk-session-expiry":
+		return []ticket.TestCase{
+			{
+				Name:        "ExpiryTest.touchNullSessionRefused",
+				Description: "touching a null session returns false without renewing anything",
+				Class:       "ExpiryTest", Method: "touchNullSessionRefused",
+				Source: `
+class ExpiryTest {
+	static void touchNullSessionRefused() {
+		LeaseStore st = new LeaseStore();
+		SessionManager m = new SessionManager(st);
+		ZSession none = null;
+		assertTrue(!m.touch(none), "null refused");
+	}
+}
+`,
+			},
+		}
+	case "zk-watch-trigger":
+		return []ticket.TestCase{
+			{
+				Name:        "WatchTest.noWatcherNoDelivery",
+				Description: "triggering a path with no registered watcher delivers nothing",
+				Class:       "WatchTest", Method: "noWatcherNoDelivery",
+				Source: `
+class WatchTest {
+	static void noWatcherNoDelivery() {
+		EventDispatcher d = new EventDispatcher();
+		WatchManager m = new WatchManager(d);
+		m.triggerWatch("/unwatched", "NodeCreated");
+		assertTrue(d.delivered.size() == 0, "nothing delivered");
+		assertTrue(d.dropped.size() == 0, "nothing dropped");
+	}
+}
+`,
+			},
+		}
+	case "zk-quota":
+		return []ticket.TestCase{
+			{
+				Name:        "QuotaTest.chargesAccumulate",
+				Description: "repeated set data operations accumulate charges on the ledger",
+				Class:       "QuotaTest", Method: "chargesAccumulate",
+				Source: `
+class QuotaTest {
+	static void chargesAccumulate() {
+		QuotaLedger l = new QuotaLedger();
+		SetDataProcessor p = new SetDataProcessor(l);
+		Quota q = new Quota();
+		q.path = "/acc";
+		q.exceeded = false;
+		p.setData(q, 100);
+		p.setData(q, 50);
+		assertTrue(l.charged("/acc") == 150, "accumulated");
+	}
+}
+`,
+			},
+		}
+	case "hdfs-observer-locations":
+		return []ticket.TestCase{
+			{
+				Name:        "ObserverTest.unknownBlockIgnored",
+				Description: "listing an unknown block id produces no entries",
+				Class:       "ObserverTest", Method: "unknownBlockIgnored",
+				Source: `
+class ObserverTest {
+	static void unknownBlockIgnored() {
+		BlockManager bm = new BlockManager();
+		ObserverNameNode nn = new ObserverNameNode(bm);
+		list ids = newList();
+		ids.add("missing");
+		ListingResult r = nn.getListing(ids);
+		assertTrue(r.entries.size() == 0, "nothing listed");
+	}
+}
+`,
+			},
+			{
+				Name:        "ObserverTest.batchRespectsSize",
+				Description: "batched listing returns at most batchSize entries",
+				Class:       "ObserverTest", Method: "batchRespectsSize",
+				Source: `
+class ObserverTest {
+	static void batchRespectsSize() {
+		BlockManager bm = new BlockManager();
+		list ids = newList();
+		for (int i = 0; i < 5; i = i + 1) {
+			LocatedBlock b = new LocatedBlock();
+			b.blockId = "blk" + str(i);
+			b.located = true;
+			bm.report(b);
+			ids.add(b.blockId);
+		}
+		BatchedListingServer bs = new BatchedListingServer(bm);
+		ListingResult r = bs.getBatchedListing(ids, 3);
+		assertTrue(r.entries.size() == 3, "batch capped");
+	}
+}
+`,
+			},
+		}
+	case "hdfs-lease-recovery":
+		return []ticket.TestCase{
+			{
+				Name:        "LeaseTest.appendsPreserveOrder",
+				Description: "sequential appends land on the block chain in order",
+				Class:       "LeaseTest", Method: "appendsPreserveOrder",
+				Source: `
+class LeaseTest {
+	static void appendsPreserveOrder() {
+		BlockChain c = new BlockChain();
+		FSNamesystem fs = new FSNamesystem(c);
+		Lease l = new Lease();
+		l.holder = "w";
+		l.expired = false;
+		fs.appendFile(l, "first");
+		fs.appendFile(l, "second");
+		assertTrue(c.appended.size() == 2, "two blocks");
+		assertTrue(c.appended.get(0) == "w:first", "order kept");
+	}
+}
+`,
+			},
+		}
+	case "hdfs-decommission":
+		return []ticket.TestCase{
+			{
+				Name:        "DecomTest.unknownNodeNotDecommissioned",
+				Description: "a node never submitted is not reported decommissioned",
+				Class:       "DecomTest", Method: "unknownNodeNotDecommissioned",
+				Source: `
+class DecomTest {
+	static void unknownNodeNotDecommissioned() {
+		NodeRegistry r = new NodeRegistry();
+		assertTrue(!r.isDecommissioned("ghost"), "unknown node");
+	}
+}
+`,
+			},
+		}
+	case "hdfs-safemode":
+		return []ticket.TestCase{
+			{
+				Name:        "SafeModeTest.renameAppliesWhenActive",
+				Description: "rename logs an edit once the namenode leaves safe mode",
+				Class:       "SafeModeTest", Method: "renameAppliesWhenActive",
+				Source: `
+class SafeModeTest {
+	static void renameAppliesWhenActive() {
+		EditLog e = new EditLog();
+		RenameHandler r = new RenameHandler(e);
+		FSState st = new FSState();
+		st.safeMode = false;
+		r.renamePath(st, "/a", "/b");
+		assertTrue(e.ops.size() == 1, "edit logged");
+	}
+}
+`,
+			},
+		}
+	case "hbase-snapshot-ttl":
+		return []ticket.TestCase{
+			{
+				Name:        "SnapshotTest.scanFreshSnapshot",
+				Description: "scanning a fresh snapshot serves it to the client",
+				Class:       "SnapshotTest", Method: "scanFreshSnapshot",
+				Source: `
+class SnapshotTest {
+	static void scanFreshSnapshot() {
+		SnapshotManager m = new SnapshotManager();
+		ScanHandler sc = new ScanHandler(m);
+		Snapshot s = new Snapshot();
+		s.name = "fresh";
+		s.expired = false;
+		sc.scanSnapshot(s);
+		assertTrue(m.servedCount() == 1, "scanned");
+	}
+}
+`,
+			},
+		}
+	case "hbase-region-state":
+		return []ticket.TestCase{
+			{
+				Name:        "RegionTest.repeatedGetsServe",
+				Description: "repeated gets against an online region each serve a read",
+				Class:       "RegionTest", Method: "repeatedGetsServe",
+				Source: `
+class RegionTest {
+	static void repeatedGetsServe() {
+		ReadServer s = new ReadServer();
+		GetHandler g = new GetHandler(s);
+		Region r = new Region();
+		r.name = "r9";
+		r.online = true;
+		g.get(r, "k1");
+		g.get(r, "k2");
+		assertTrue(s.reads.size() == 2, "two reads served");
+	}
+}
+`,
+			},
+		}
+	case "hbase-wal-append":
+		return []ticket.TestCase{
+			{
+				Name:        "WalTest.entriesTagByLog",
+				Description: "entries are tagged with their write ahead log name",
+				Class:       "WalTest", Method: "entriesTagByLog",
+				Source: `
+class WalTest {
+	static void entriesTagByLog() {
+		WALStore s = new WALStore();
+		WALWriter w = new WALWriter(s);
+		WAL wal = new WAL();
+		wal.name = "walX";
+		wal.closed = false;
+		w.append(wal, "e1");
+		assertTrue(s.entries.get(0) == "walX:e1", "tagged");
+	}
+}
+`,
+			},
+		}
+	case "hbase-meta-cache":
+		return []ticket.TestCase{
+			{
+				Name:        "MetaTest.routeCarriesOperation",
+				Description: "routing records the destination server and the operation",
+				Class:       "MetaTest", Method: "routeCarriesOperation",
+				Source: `
+class MetaTest {
+	static void routeCarriesOperation() {
+		ClientRouter r = new ClientRouter();
+		MetaLookup m = new MetaLookup(r);
+		MetaEntry e = new MetaEntry();
+		e.regionName = "rz";
+		e.server = "rs9";
+		e.stale = false;
+		m.lookup(e, "scan");
+		assertTrue(r.routed.get(0) == "rs9/scan", "route recorded");
+	}
+}
+`,
+			},
+		}
+	case "cassandra-tombstone-gc":
+		return []ticket.TestCase{
+			{
+				Name:        "TombstoneTest.purgeManyEligible",
+				Description: "compaction purges every gc-eligible tombstone in the run",
+				Class:       "TombstoneTest", Method: "purgeManyEligible",
+				Source: `
+class TombstoneTest {
+	static void purgeManyEligible() {
+		SSTableStore s = new SSTableStore();
+		CompactionTask c = new CompactionTask(s);
+		for (int i = 0; i < 3; i = i + 1) {
+			Tombstone t = new Tombstone();
+			t.key = "k" + str(i);
+			t.gcEligible = true;
+			c.compactTombstone(t);
+		}
+		assertTrue(s.purged.size() == 3, "all purged");
+	}
+}
+`,
+			},
+		}
+	case "cassandra-hint-delivery":
+		return []ticket.TestCase{
+			{
+				Name:        "HintTest.deliverToMultipleLiveNodes",
+				Description: "hints fan out to each live endpoint",
+				Class:       "HintTest", Method: "deliverToMultipleLiveNodes",
+				Source: `
+class HintTest {
+	static void deliverToMultipleLiveNodes() {
+		HintTransport t = new HintTransport();
+		HintDispatcher d = new HintDispatcher(t);
+		Endpoint a = new Endpoint();
+		a.addr = "10.0.0.7";
+		a.alive = true;
+		Endpoint b = new Endpoint();
+		b.addr = "10.0.0.8";
+		b.alive = true;
+		d.deliver(a, "m1");
+		d.deliver(b, "m2");
+		assertTrue(t.sent.size() == 2, "both delivered");
+	}
+}
+`,
+			},
+		}
+	case "cassandra-repair-stream":
+		return []ticket.TestCase{
+			{
+				Name:        "RepairTest.streamsMultipleRanges",
+				Description: "a validated session streams each requested range",
+				Class:       "RepairTest", Method: "streamsMultipleRanges",
+				Source: `
+class RepairTest {
+	static void streamsMultipleRanges() {
+		RangeStreamer st = new RangeStreamer();
+		IncrementalRepairJob j = new IncrementalRepairJob(st);
+		RepairSession s = new RepairSession();
+		s.id = "rs9";
+		s.validated = true;
+		list ranges = newList();
+		ranges.add("(0,10]");
+		ranges.add("(10,20]");
+		j.runIncremental(s, ranges);
+		assertTrue(st.streamed.size() == 2, "both ranges streamed");
+	}
+}
+`,
+			},
+		}
+	}
+	return nil
+}

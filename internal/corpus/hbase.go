@@ -1,0 +1,746 @@
+package corpus
+
+import "lisa/internal/ticket"
+
+// ---------------------------------------------------------------------------
+// Case 10: hbase-snapshot-ttl — §4 Bug #1's family. Expired snapshots must
+// never be materialized for clients. Checks were added to restore and then
+// clone; the latest head adds export and scan paths without the check —
+// the previously unknown bug LISA reports (two unguarded paths).
+// ---------------------------------------------------------------------------
+
+const hbaseSnapshotBase = `
+class Snapshot {
+	string name;
+	bool expired;
+
+	bool isExpired() {
+		return expired;
+	}
+}
+
+class SnapshotManager {
+	list served;
+
+	void init() {
+		served = newList();
+	}
+
+	void materialize(Snapshot s, string purpose) {
+		served.add(s.name + ":" + purpose);
+	}
+
+	int servedCount() {
+		return served.size();
+	}
+}
+
+class RestoreHandler {
+	SnapshotManager mgr;
+	bool verbose;
+	int attempts;
+
+	void init(SnapshotManager m) {
+		mgr = m;
+		verbose = false;
+		attempts = 0;
+	}
+
+	void restoreSnapshot(Snapshot s) {
+		attempts = attempts + 1;
+		if (verbose) {
+			log("restore attempt " + str(attempts));
+		}
+		if (s == null || s.isExpired()) {
+			throw "SnapshotTTLExpiredException";
+		}
+		mgr.materialize(s, "restore");
+	}
+}
+`
+
+const hbaseSnapshotCloneFixed = `
+class CloneHandler {
+	SnapshotManager mgr;
+
+	void init(SnapshotManager m) {
+		mgr = m;
+	}
+
+	void cloneSnapshot(Snapshot s, string table) {
+		if (s == null || s.isExpired()) {
+			throw "SnapshotTTLExpiredException";
+		}
+		mgr.materialize(s, "clone " + table);
+	}
+}
+`
+
+// hbaseSnapshotLatestExtras are the head-of-tree additions that still miss
+// the expiration check on two paths: the HBASE-29296 analogue.
+const hbaseSnapshotLatestExtras = `
+class ExportHandler {
+	SnapshotManager mgr;
+
+	void init(SnapshotManager m) {
+		mgr = m;
+	}
+
+	void exportSnapshot(Snapshot s, string dest) {
+		if (s == null) {
+			throw "SnapshotDoesNotExistException";
+		}
+		mgr.materialize(s, "export " + dest);
+	}
+}
+
+class ScanHandler {
+	SnapshotManager mgr;
+
+	void init(SnapshotManager m) {
+		mgr = m;
+	}
+
+	void scanSnapshot(Snapshot s) {
+		if (s == null) {
+			throw "SnapshotDoesNotExistException";
+		}
+		mgr.materialize(s, "scan");
+	}
+}
+`
+
+func caseHbaseSnapshotTTL() *ticket.Case {
+	v2 := hbaseSnapshotBase
+	v1 := weaken(v2, "if (s == null || s.isExpired()) {\n			throw \"SnapshotTTLExpiredException\";\n		}\n		mgr.materialize(s, \"restore\");",
+		"if (s == null) {\n			throw \"SnapshotDoesNotExistException\";\n		}\n		mgr.materialize(s, \"restore\");")
+	v4 := hbaseSnapshotBase + hbaseSnapshotCloneFixed
+	v3 := weaken(v4, "if (s == null || s.isExpired()) {\n			throw \"SnapshotTTLExpiredException\";\n		}\n		mgr.materialize(s, \"clone \" + table);",
+		"if (s == null) {\n			throw \"SnapshotDoesNotExistException\";\n		}\n		mgr.materialize(s, \"clone \" + table);")
+	latest := v4 + hbaseSnapshotLatestExtras
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "SnapshotTest.restoreFreshSnapshot",
+			Description: "restoring a fresh snapshot within its TTL succeeds",
+			Class:       "SnapshotTest", Method: "restoreFreshSnapshot",
+			Source: `
+class SnapshotTest {
+	static void restoreFreshSnapshot() {
+		SnapshotManager m = new SnapshotManager();
+		RestoreHandler r = new RestoreHandler(m);
+		Snapshot s = new Snapshot();
+		s.name = "snap1";
+		s.expired = false;
+		r.restoreSnapshot(s);
+		assertTrue(m.servedCount() == 1, "restored");
+	}
+}
+`,
+		},
+		{
+			Name:        "SnapshotTest.restoreRejectsExpiredSnapshot",
+			Description: "restoring a snapshot after its TTL elapsed throws",
+			Class:       "SnapshotTest", Method: "restoreRejectsExpiredSnapshot",
+			Source: `
+class SnapshotTest {
+	static void restoreRejectsExpiredSnapshot() {
+		SnapshotManager m = new SnapshotManager();
+		RestoreHandler r = new RestoreHandler(m);
+		Snapshot s = new Snapshot();
+		s.name = "snap2";
+		s.expired = true;
+		bool rejected = false;
+		try {
+			r.restoreSnapshot(s);
+		} catch (e) {
+			rejected = true;
+		}
+		assertTrue(rejected, "expired restore rejected");
+		assertTrue(m.servedCount() == 0, "nothing served");
+	}
+}
+`,
+		},
+		{
+			Name:        "SnapshotTest.cloneChecksTTL",
+			Description: "cloning an expired snapshot to a new table must be rejected",
+			Class:       "SnapshotTest", Method: "cloneChecksTTL",
+			Source: `
+class SnapshotTest {
+	static void cloneChecksTTL() {
+		SnapshotManager m = new SnapshotManager();
+		CloneHandler c = new CloneHandler(m);
+		Snapshot s = new Snapshot();
+		s.name = "snap3";
+		s.expired = true;
+		try {
+			c.cloneSnapshot(s, "t1");
+		} catch (e) {
+			log(e);
+		}
+		assertTrue(m.servedCount() == 0, "expired clone not served");
+	}
+}
+`,
+		},
+		{
+			Name:        "SnapshotTest.exportSnapshotCopies",
+			Description: "export snapshot copies the snapshot to the destination",
+			Class:       "SnapshotTest", Method: "exportSnapshotCopies",
+			Source: `
+class SnapshotTest {
+	static void exportSnapshotCopies() {
+		SnapshotManager m = new SnapshotManager();
+		ExportHandler x = new ExportHandler(m);
+		Snapshot s = new Snapshot();
+		s.name = "snap4";
+		s.expired = true;
+		x.exportSnapshot(s, "hdfs://backup");
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "hbase-snapshot-ttl",
+		System:  "hbasesim",
+		Feature: "snapshot TTL expiration",
+		Description: "Expired snapshots served to clients return stale data without any alarm; every " +
+			"path that materializes a snapshot needs the TTL check.",
+		FirstReported: 2023, LastReported: 2025, FeatureBugCount: 7,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "HBS-27671",
+				Title: "Client should not be able to restore/clone a snapshot after its ttl has expired",
+				Description: "Restore served snapshots whose TTL had elapsed; clients silently read " +
+					"stale data.",
+				Discussion:      []string{"Add the expiration check before materializing."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "HBS-28704",
+				Title: "The expired snapshot can be read by copytable or exportsnapshot",
+				Description: "The clone path materialized expired snapshots — the HBS-27671 semantics " +
+					"on a different entry point.",
+				Discussion:      []string{"The protection is not consistent across scenarios."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Latest: latest,
+		Tests:  tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 11: hbase-region-state — reads must only be served by online
+// regions; a region mid-move serves stale or torn rows.
+// ---------------------------------------------------------------------------
+
+const hbaseRegionBase = `
+class Region {
+	string name;
+	bool online;
+
+	bool isOnline() {
+		return online;
+	}
+}
+
+class ReadServer {
+	list reads;
+
+	void init() {
+		reads = newList();
+	}
+
+	void serveRead(Region r, string key) {
+		reads.add(r.name + "/" + key);
+	}
+}
+
+class GetHandler {
+	ReadServer server;
+
+	void init(ReadServer s) {
+		server = s;
+	}
+
+	void get(Region r, string key) {
+		if (r == null || !r.isOnline()) {
+			throw "NotServingRegionException";
+		}
+		server.serveRead(r, key);
+	}
+}
+`
+
+const hbaseRegionBatchFixed = `
+class BatchGetHandler {
+	ReadServer server;
+
+	void init(ReadServer s) {
+		server = s;
+	}
+
+	void batchGet(Region r, list keys) {
+		if (r == null || !r.isOnline()) {
+			throw "NotServingRegionException";
+		}
+		for (k in keys) {
+			server.serveRead(r, k);
+		}
+	}
+}
+`
+
+func caseHbaseRegionState() *ticket.Case {
+	v2 := hbaseRegionBase
+	v1 := weaken(v2, "	void get(Region r, string key) {\n		if (r == null || !r.isOnline()) {",
+		"	void get(Region r, string key) {\n		if (r == null) {")
+	v4 := hbaseRegionBase + hbaseRegionBatchFixed
+	v3 := weaken(v4, "	void batchGet(Region r, list keys) {\n		if (r == null || !r.isOnline()) {",
+		"	void batchGet(Region r, list keys) {\n		if (r == null) {")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "RegionTest.getFromOnlineRegion",
+			Description: "get served from an online region returns the row",
+			Class:       "RegionTest", Method: "getFromOnlineRegion",
+			Source: `
+class RegionTest {
+	static void getFromOnlineRegion() {
+		ReadServer s = new ReadServer();
+		GetHandler g = new GetHandler(s);
+		Region r = new Region();
+		r.name = "r1";
+		r.online = true;
+		g.get(r, "row1");
+		assertTrue(s.reads.size() == 1, "read served");
+	}
+}
+`,
+		},
+		{
+			Name:        "RegionTest.getRejectsOfflineRegion",
+			Description: "get against an offline region throws NotServingRegionException",
+			Class:       "RegionTest", Method: "getRejectsOfflineRegion",
+			Source: `
+class RegionTest {
+	static void getRejectsOfflineRegion() {
+		ReadServer s = new ReadServer();
+		GetHandler g = new GetHandler(s);
+		Region r = new Region();
+		r.name = "r2";
+		r.online = false;
+		bool rejected = false;
+		try {
+			g.get(r, "row2");
+		} catch (e) {
+			rejected = true;
+		}
+		assertTrue(rejected, "offline read rejected");
+	}
+}
+`,
+		},
+		{
+			Name:        "RegionTest.batchGetServesAllKeys",
+			Description: "batch get serves every key from the region",
+			Class:       "RegionTest", Method: "batchGetServesAllKeys",
+			Source: `
+class RegionTest {
+	static void batchGetServesAllKeys() {
+		ReadServer s = new ReadServer();
+		BatchGetHandler b = new BatchGetHandler(s);
+		Region r = new Region();
+		r.name = "r3";
+		r.online = false;
+		list keys = newList();
+		keys.add("k1");
+		keys.add("k2");
+		try {
+			b.batchGet(r, keys);
+		} catch (e) {
+			log(e);
+		}
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "hbase-region-state",
+		System:  "hbasesim",
+		Feature: "region serving state",
+		Description: "Reads served by offline (mid-move) regions return stale or torn rows; every read " +
+			"path must verify the region is online.",
+		FirstReported: 2012, LastReported: 2020, FeatureBugCount: 13,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "HBS-9721",
+				Title: "Get served by region that is no longer online",
+				Description: "The get path served reads from regions in transition, returning rows from " +
+					"a half-moved region.",
+				Discussion:      []string{"Check region online state before serving."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "HBS-14313",
+				Title: "Batch get bypasses the online-region check",
+				Description: "The batched read path introduced for multi-gets serves keys without " +
+					"checking region state — HBS-9721 again.",
+				Discussion:      []string{"Every read entry point needs the same state check."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Tests: tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 12: hbase-wal-append — entries must never be appended to a closed
+// write-ahead log; they are acknowledged but lost.
+// ---------------------------------------------------------------------------
+
+const hbaseWalBase = `
+class WAL {
+	string name;
+	bool closed;
+
+	bool isClosed() {
+		return closed;
+	}
+}
+
+class WALStore {
+	list entries;
+
+	void init() {
+		entries = newList();
+	}
+
+	void appendEntry(WAL w, string entry) {
+		entries.add(w.name + ":" + entry);
+	}
+}
+
+class WALWriter {
+	WALStore store;
+
+	void init(WALStore s) {
+		store = s;
+	}
+
+	void append(WAL w, string entry) {
+		if (w == null || w.isClosed()) {
+			throw "WALClosedException";
+		}
+		store.appendEntry(w, entry);
+	}
+}
+`
+
+const hbaseWalRollerFixed = `
+class LogRoller {
+	WALStore store;
+
+	void init(WALStore s) {
+		store = s;
+	}
+
+	void flushOnRoll(WAL old, WAL fresh, string marker) {
+		if (fresh == null || fresh.isClosed()) {
+			throw "WALClosedException";
+		}
+		if (old == null || old.isClosed()) {
+			throw "WALClosedException";
+		}
+		store.appendEntry(old, marker);
+		store.appendEntry(fresh, "roll-start");
+	}
+}
+`
+
+func caseHbaseWalRoll() *ticket.Case {
+	v2 := hbaseWalBase
+	v1 := weaken(v2, "	void append(WAL w, string entry) {\n		if (w == null || w.isClosed()) {",
+		"	void append(WAL w, string entry) {\n		if (w == null) {")
+	v4 := hbaseWalBase + hbaseWalRollerFixed
+	v3 := weaken(v4, "if (old == null || old.isClosed()) {", "if (old == null) {")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "WalTest.appendToOpenWal",
+			Description: "append to an open write ahead log stores the entry",
+			Class:       "WalTest", Method: "appendToOpenWal",
+			Source: `
+class WalTest {
+	static void appendToOpenWal() {
+		WALStore s = new WALStore();
+		WALWriter w = new WALWriter(s);
+		WAL wal = new WAL();
+		wal.name = "wal1";
+		wal.closed = false;
+		w.append(wal, "put row1");
+		assertTrue(s.entries.size() == 1, "entry appended");
+	}
+}
+`,
+		},
+		{
+			Name:        "WalTest.appendRejectsClosedWal",
+			Description: "append to a closed write ahead log throws WALClosedException",
+			Class:       "WalTest", Method: "appendRejectsClosedWal",
+			Source: `
+class WalTest {
+	static void appendRejectsClosedWal() {
+		WALStore s = new WALStore();
+		WALWriter w = new WALWriter(s);
+		WAL wal = new WAL();
+		wal.name = "wal2";
+		wal.closed = true;
+		bool rejected = false;
+		try {
+			w.append(wal, "put row2");
+		} catch (e) {
+			rejected = true;
+		}
+		assertTrue(rejected, "closed append rejected");
+	}
+}
+`,
+		},
+		{
+			Name:        "WalTest.rollFlushesOldLog",
+			Description: "log roll flushes a marker to the old wal and starts the fresh one",
+			Class:       "WalTest", Method: "rollFlushesOldLog",
+			Source: `
+class WalTest {
+	static void rollFlushesOldLog() {
+		WALStore s = new WALStore();
+		LogRoller r = new LogRoller(s);
+		WAL old = new WAL();
+		old.name = "wal3";
+		old.closed = true;
+		WAL fresh = new WAL();
+		fresh.name = "wal4";
+		try {
+			r.flushOnRoll(old, fresh, "flush");
+		} catch (e) {
+			log(e);
+		}
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "hbase-wal-append",
+		System:  "hbasesim",
+		Feature: "WAL lifecycle",
+		Description: "Appends to a closed WAL are acknowledged but lost on crash; every append path " +
+			"must check the log is still open.",
+		FirstReported: 2014, LastReported: 2023, FeatureBugCount: 9,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "HBS-11109",
+				Title: "Edits appended to closed WAL are lost",
+				Description: "The writer appended entries to a WAL that had been closed by a concurrent " +
+					"roll; the edits were acknowledged and then lost.",
+				Discussion:      []string{"Check isClosed before appending."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "HBS-17465",
+				Title: "Log roller flushes marker into a closed WAL",
+				Description: "The roll path appends a flush marker to the old WAL without checking " +
+					"whether it was already closed — the HBS-11109 semantics again.",
+				Discussion:      []string{"Same lifecycle check on the roll path."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Tests: tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 13: hbase-meta-cache — a stale meta-cache entry must not be served
+// after a region moves, or clients keep hitting the old server.
+// ---------------------------------------------------------------------------
+
+const hbaseMetaBase = `
+class MetaEntry {
+	string regionName;
+	string server;
+	bool stale;
+
+	bool isStale() {
+		return stale;
+	}
+}
+
+class ClientRouter {
+	list routed;
+
+	void init() {
+		routed = newList();
+	}
+
+	void route(MetaEntry e, string op) {
+		routed.add(e.server + "/" + op);
+	}
+}
+
+class MetaLookup {
+	ClientRouter router;
+
+	void init(ClientRouter r) {
+		router = r;
+	}
+
+	void lookup(MetaEntry e, string op) {
+		if (e == null || e.isStale()) {
+			throw "StaleMetaException";
+		}
+		router.route(e, op);
+	}
+}
+`
+
+const hbaseMetaPrefetchFixed = `
+class PrefetchLookup {
+	ClientRouter router;
+
+	void init(ClientRouter r) {
+		router = r;
+	}
+
+	void prefetch(MetaEntry e) {
+		if (e == null || e.isStale()) {
+			return;
+		}
+		router.route(e, "prefetch");
+	}
+}
+`
+
+func caseHbaseMetaCache() *ticket.Case {
+	v2 := hbaseMetaBase
+	v1 := weaken(v2, "	void lookup(MetaEntry e, string op) {\n		if (e == null || e.isStale()) {",
+		"	void lookup(MetaEntry e, string op) {\n		if (e == null) {")
+	v4 := hbaseMetaBase + hbaseMetaPrefetchFixed
+	v3 := weaken(v4, "	void prefetch(MetaEntry e) {\n		if (e == null || e.isStale()) {",
+		"	void prefetch(MetaEntry e) {\n		if (e == null) {")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "MetaTest.lookupRoutesFreshEntry",
+			Description: "lookup routes operations through a fresh meta entry",
+			Class:       "MetaTest", Method: "lookupRoutesFreshEntry",
+			Source: `
+class MetaTest {
+	static void lookupRoutesFreshEntry() {
+		ClientRouter r = new ClientRouter();
+		MetaLookup m = new MetaLookup(r);
+		MetaEntry e = new MetaEntry();
+		e.regionName = "ra";
+		e.server = "rs1";
+		e.stale = false;
+		m.lookup(e, "get");
+		assertTrue(r.routed.size() == 1, "routed");
+	}
+}
+`,
+		},
+		{
+			Name:        "MetaTest.lookupRejectsStaleEntry",
+			Description: "lookup with a stale meta entry after region move throws",
+			Class:       "MetaTest", Method: "lookupRejectsStaleEntry",
+			Source: `
+class MetaTest {
+	static void lookupRejectsStaleEntry() {
+		ClientRouter r = new ClientRouter();
+		MetaLookup m = new MetaLookup(r);
+		MetaEntry e = new MetaEntry();
+		e.regionName = "rb";
+		e.server = "rs-old";
+		e.stale = true;
+		bool rejected = false;
+		try {
+			m.lookup(e, "get");
+		} catch (ex) {
+			rejected = true;
+		}
+		assertTrue(rejected, "stale lookup rejected");
+	}
+}
+`,
+		},
+		{
+			Name:        "MetaTest.prefetchWarmsRouter",
+			Description: "prefetch warms the router with meta entries ahead of reads",
+			Class:       "MetaTest", Method: "prefetchWarmsRouter",
+			Source: `
+class MetaTest {
+	static void prefetchWarmsRouter() {
+		ClientRouter r = new ClientRouter();
+		PrefetchLookup p = new PrefetchLookup(r);
+		MetaEntry e = new MetaEntry();
+		e.regionName = "rc";
+		e.server = "rs-moved";
+		e.stale = true;
+		p.prefetch(e);
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "hbase-meta-cache",
+		System:  "hbasesim",
+		Feature: "meta cache staleness",
+		Description: "Serving a stale meta entry after a region move keeps routing clients to the old " +
+			"server; every consumer of the cache must check staleness.",
+		FirstReported: 2015, LastReported: 2022, FeatureBugCount: 11,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "HBS-13328",
+				Title: "Client keeps routing to old server after region move",
+				Description: "Lookups served stale meta entries, sending every request to the region's " +
+					"previous server until the cache expired.",
+				Discussion:      []string{"Check staleness before routing."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "HBS-20697",
+				Title: "Prefetch path populates router with stale entries",
+				Description: "The meta prefetch optimization routes through stale entries — the " +
+					"HBS-13328 semantics on the new warm-up path.",
+				Discussion:      []string{"Prefetch must apply the same staleness check."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Tests: tests,
+	}
+}

@@ -1,0 +1,826 @@
+package corpus
+
+import "lisa/internal/ticket"
+
+// ---------------------------------------------------------------------------
+// Case 6: hdfs-observer-locations — §4 Bug #2's family. When the observer
+// namenode's block report is delayed, listings must only return blocks with
+// valid locations. Checks were added to getListing and then to getFileInfo;
+// the latest head adds getBatchedListing without the check — the previously
+// unknown bug LISA reports.
+// ---------------------------------------------------------------------------
+
+const hdfsObserverBase = `
+class LocatedBlock {
+	string blockId;
+	list locations;
+	bool located;
+
+	bool hasLocations() {
+		return located;
+	}
+}
+
+class ListingResult {
+	list entries;
+	list skipped;
+
+	void init() {
+		entries = newList();
+		skipped = newList();
+	}
+
+	void addBlock(LocatedBlock b) {
+		entries.add(b.blockId);
+	}
+
+	void skipBlock(LocatedBlock b) {
+		skipped.add(b.blockId);
+	}
+}
+
+class BlockManager {
+	map blocks;
+
+	void init() {
+		blocks = newMap();
+	}
+
+	void report(LocatedBlock b) {
+		blocks.put(b.blockId, b);
+	}
+
+	LocatedBlock lookup(string id) {
+		if (blocks.has(id)) {
+			return blocks.get(id);
+		}
+		return null;
+	}
+}
+
+class ObserverNameNode {
+	BlockManager bm;
+	bool auditEnabled;
+	int rpcCount;
+
+	void init(BlockManager m) {
+		bm = m;
+		auditEnabled = false;
+		rpcCount = 0;
+	}
+
+	ListingResult getListing(list blockIds) {
+		rpcCount = rpcCount + 1;
+		if (auditEnabled) {
+			log("getListing rpc " + str(rpcCount));
+		}
+		ListingResult out = new ListingResult();
+		for (id in blockIds) {
+			LocatedBlock b = bm.lookup(id);
+			if (b != null) {
+				if (b.hasLocations()) {
+					out.addBlock(b);
+				} else {
+					out.skipBlock(b);
+				}
+			}
+		}
+		return out;
+	}
+}
+`
+
+const hdfsObserverFileInfoFixed = `
+class FileInfoServer {
+	BlockManager bm;
+
+	void init(BlockManager m) {
+		bm = m;
+	}
+
+	ListingResult getFileInfo(string id) {
+		ListingResult out = new ListingResult();
+		LocatedBlock b = bm.lookup(id);
+		if (b != null) {
+			if (b.hasLocations()) {
+				out.addBlock(b);
+			} else {
+				out.skipBlock(b);
+			}
+		}
+		return out;
+	}
+}
+`
+
+// hdfsObserverBatchedLatest is the head-of-tree addition that still misses
+// the location check: the HDFS-17768 analogue.
+const hdfsObserverBatchedLatest = `
+class BatchedListingServer {
+	BlockManager bm;
+
+	void init(BlockManager m) {
+		bm = m;
+	}
+
+	ListingResult getBatchedListing(list blockIds, int batchSize) {
+		ListingResult out = new ListingResult();
+		int taken = 0;
+		for (id in blockIds) {
+			if (taken < batchSize) {
+				LocatedBlock b = bm.lookup(id);
+				if (b != null) {
+					out.addBlock(b);
+					taken = taken + 1;
+				}
+			}
+		}
+		return out;
+	}
+}
+`
+
+func caseHdfsObserverLocations() *ticket.Case {
+	v2 := hdfsObserverBase
+	v1 := weaken(v2, `			if (b != null) {
+				if (b.hasLocations()) {
+					out.addBlock(b);
+				} else {
+					out.skipBlock(b);
+				}
+			}`, `			if (b != null) {
+				out.addBlock(b);
+			}`)
+	v4 := hdfsObserverBase + hdfsObserverFileInfoFixed
+	v3 := weaken(v4, `		LocatedBlock b = bm.lookup(id);
+		if (b != null) {
+			if (b.hasLocations()) {
+				out.addBlock(b);
+			} else {
+				out.skipBlock(b);
+			}
+		}
+		return out;`, `		LocatedBlock b = bm.lookup(id);
+		if (b != null) {
+			out.addBlock(b);
+		}
+		return out;`)
+	latest := v4 + hdfsObserverBatchedLatest
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "ObserverTest.listingReturnsLocatedBlocks",
+			Description: "observer listing returns blocks that have valid locations",
+			Class:       "ObserverTest", Method: "listingReturnsLocatedBlocks",
+			Source: `
+class ObserverTest {
+	static void listingReturnsLocatedBlocks() {
+		BlockManager bm = new BlockManager();
+		LocatedBlock b = new LocatedBlock();
+		b.blockId = "blk1";
+		b.located = true;
+		bm.report(b);
+		ObserverNameNode nn = new ObserverNameNode(bm);
+		list ids = newList();
+		ids.add("blk1");
+		ListingResult r = nn.getListing(ids);
+		assertTrue(r.entries.size() == 1, "block listed");
+	}
+}
+`,
+		},
+		{
+			Name:        "ObserverTest.listingSkipsUnlocatedBlocks",
+			Description: "delayed block report: listing skips blocks without locations instead of returning empty locations",
+			Class:       "ObserverTest", Method: "listingSkipsUnlocatedBlocks",
+			Source: `
+class ObserverTest {
+	static void listingSkipsUnlocatedBlocks() {
+		BlockManager bm = new BlockManager();
+		LocatedBlock b = new LocatedBlock();
+		b.blockId = "blk2";
+		b.located = false;
+		bm.report(b);
+		ObserverNameNode nn = new ObserverNameNode(bm);
+		list ids = newList();
+		ids.add("blk2");
+		ListingResult r = nn.getListing(ids);
+		assertTrue(r.entries.size() == 0, "unlocated block not listed");
+		assertTrue(r.skipped.size() == 1, "unlocated block skipped");
+	}
+}
+`,
+		},
+		{
+			Name:        "ObserverTest.fileInfoChecksLocations",
+			Description: "file info path on observer checks block locations before returning",
+			Class:       "ObserverTest", Method: "fileInfoChecksLocations",
+			Source: `
+class ObserverTest {
+	static void fileInfoChecksLocations() {
+		BlockManager bm = new BlockManager();
+		LocatedBlock b = new LocatedBlock();
+		b.blockId = "blk3";
+		b.located = false;
+		bm.report(b);
+		FileInfoServer fi = new FileInfoServer(bm);
+		ListingResult r = fi.getFileInfo("blk3");
+		assertTrue(r.entries.size() == 0, "unlocated block not returned");
+	}
+}
+`,
+		},
+		{
+			Name:        "ObserverTest.batchedListingReturnsBatch",
+			Description: "batched listing returns up to batchSize blocks from the observer",
+			Class:       "ObserverTest", Method: "batchedListingReturnsBatch",
+			Source: `
+class ObserverTest {
+	static void batchedListingReturnsBatch() {
+		BlockManager bm = new BlockManager();
+		LocatedBlock b = new LocatedBlock();
+		b.blockId = "blk4";
+		b.located = false;
+		bm.report(b);
+		BatchedListingServer bs = new BatchedListingServer(bm);
+		list ids = newList();
+		ids.add("blk4");
+		ListingResult r = bs.getBatchedListing(ids, 10);
+		assertTrue(r.entries.size() <= 1, "batch bounded");
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "hdfs-observer-locations",
+		System:  "hdfssim",
+		Feature: "observer namenode block locations",
+		Description: "When the observer namenode's block report is delayed, listing results must not " +
+			"return blocks without locations; missing locations mean the observer lags the active namenode.",
+		FirstReported: 2018, LastReported: 2025, FeatureBugCount: 12,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "HDF-13924",
+				Title: "Handle blockmissingexception when reading from observer",
+				Description: "Clients reading from the observer received blocks with empty location lists " +
+					"when the block report lagged; reads then failed with BlockMissingException.",
+				Discussion:      []string{"Check hasLocations before adding a block to the listing."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "HDF-16732",
+				Title: "Avoid get location from observer when the block report is delayed",
+				Description: "The file-info path returned unlocated blocks from the observer — the same " +
+					"missing-location semantics as HDF-13924 on a different RPC.",
+				Discussion:      []string{"The location check exists in getListing but not getFileInfo."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Latest: latest,
+		Tests:  tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 7: hdfs-lease-recovery — appends must hold a valid (unexpired)
+// lease, or two writers corrupt the block chain.
+// ---------------------------------------------------------------------------
+
+const hdfsLeaseBase = `
+class Lease {
+	string holder;
+	bool expired;
+
+	bool isValid() {
+		return !expired;
+	}
+}
+
+class BlockChain {
+	list appended;
+
+	void init() {
+		appended = newList();
+	}
+
+	void appendBlock(Lease l, string data) {
+		appended.add(l.holder + ":" + data);
+	}
+}
+
+class FSNamesystem {
+	BlockChain chain;
+
+	void init(BlockChain c) {
+		chain = c;
+	}
+
+	void appendFile(Lease l, string data) {
+		if (l == null || !l.isValid()) {
+			throw "LeaseExpiredException";
+		}
+		chain.appendBlock(l, data);
+	}
+}
+`
+
+const hdfsLeaseTruncateFixed = `
+class TruncateHandler {
+	BlockChain chain;
+
+	void init(BlockChain c) {
+		chain = c;
+	}
+
+	void truncateFile(Lease l, string marker) {
+		if (l == null || !l.isValid()) {
+			throw "LeaseExpiredException";
+		}
+		chain.appendBlock(l, marker);
+	}
+}
+`
+
+func caseHdfsLeaseRecovery() *ticket.Case {
+	v2 := hdfsLeaseBase
+	v1 := weaken(v2, "if (l == null || !l.isValid()) {\n			throw \"LeaseExpiredException\";\n		}\n		chain.appendBlock(l, data);",
+		"if (l == null) {\n			throw \"LeaseExpiredException\";\n		}\n		chain.appendBlock(l, data);")
+	v4 := hdfsLeaseBase + hdfsLeaseTruncateFixed
+	v3 := weaken(v4, "if (l == null || !l.isValid()) {\n			throw \"LeaseExpiredException\";\n		}\n		chain.appendBlock(l, marker);",
+		"if (l == null) {\n			throw \"LeaseExpiredException\";\n		}\n		chain.appendBlock(l, marker);")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "LeaseTest.appendWithValidLease",
+			Description: "append with a valid lease reaches the block chain",
+			Class:       "LeaseTest", Method: "appendWithValidLease",
+			Source: `
+class LeaseTest {
+	static void appendWithValidLease() {
+		BlockChain c = new BlockChain();
+		FSNamesystem fs = new FSNamesystem(c);
+		Lease l = new Lease();
+		l.holder = "client1";
+		l.expired = false;
+		fs.appendFile(l, "data");
+		assertTrue(c.appended.size() == 1, "appended");
+	}
+}
+`,
+		},
+		{
+			Name:        "LeaseTest.appendRejectsExpiredLease",
+			Description: "append with an expired lease throws LeaseExpiredException",
+			Class:       "LeaseTest", Method: "appendRejectsExpiredLease",
+			Source: `
+class LeaseTest {
+	static void appendRejectsExpiredLease() {
+		BlockChain c = new BlockChain();
+		FSNamesystem fs = new FSNamesystem(c);
+		Lease l = new Lease();
+		l.holder = "client2";
+		l.expired = true;
+		bool rejected = false;
+		try {
+			fs.appendFile(l, "data");
+		} catch (e) {
+			rejected = true;
+		}
+		assertTrue(rejected, "expired lease rejected");
+	}
+}
+`,
+		},
+		{
+			Name:        "LeaseTest.truncateUsesLease",
+			Description: "truncate path writes a truncation marker under the caller's lease",
+			Class:       "LeaseTest", Method: "truncateUsesLease",
+			Source: `
+class LeaseTest {
+	static void truncateUsesLease() {
+		BlockChain c = new BlockChain();
+		TruncateHandler th = new TruncateHandler(c);
+		Lease l = new Lease();
+		l.holder = "client3";
+		l.expired = true;
+		try {
+			th.truncateFile(l, "trunc@42");
+		} catch (e) {
+			log(e);
+		}
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "hdfs-lease-recovery",
+		System:  "hdfssim",
+		Feature: "lease enforcement",
+		Description: "Block mutations require a valid lease; an expired lease accepted on any path lets " +
+			"two writers interleave and corrupt the chain.",
+		FirstReported: 2013, LastReported: 2022, FeatureBugCount: 15,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "HDF-6781",
+				Title: "Append accepted with expired lease",
+				Description: "appendFile validated only lease presence, not validity; a writer whose " +
+					"lease had expired kept appending concurrently with the recovery writer.",
+				Discussion:      []string{"Check lease validity, not just presence."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "HDF-9364",
+				Title: "Truncate path bypasses lease validity check",
+				Description: "The truncate feature added a second mutation path that only checks lease " +
+					"presence — the HDF-6781 semantics violated again.",
+				Discussion:      []string{"Every chain mutation needs the validity check."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Tests: tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 8: hdfs-decommission — a datanode may be marked decommissioned only
+// once its blocks are fully re-replicated.
+// ---------------------------------------------------------------------------
+
+const hdfsDecomBase = `
+class DataNode {
+	string id;
+	bool fullyReplicated;
+
+	bool isFullyReplicated() {
+		return fullyReplicated;
+	}
+}
+
+class NodeRegistry {
+	list decommissioned;
+
+	void init() {
+		decommissioned = newList();
+	}
+
+	void markDecommissioned(DataNode n) {
+		decommissioned.add(n.id);
+	}
+
+	bool isDecommissioned(string id) {
+		return decommissioned.contains(id);
+	}
+}
+
+class DecommissionManager {
+	NodeRegistry registry;
+
+	void init(NodeRegistry r) {
+		registry = r;
+	}
+
+	void completeDecommission(DataNode n) {
+		if (n == null || !n.isFullyReplicated()) {
+			return;
+		}
+		registry.markDecommissioned(n);
+	}
+}
+`
+
+const hdfsDecomMaintenanceFixed = `
+class MaintenanceManager {
+	NodeRegistry registry;
+
+	void init(NodeRegistry r) {
+		registry = r;
+	}
+
+	void exitMaintenance(DataNode n) {
+		if (n == null || !n.isFullyReplicated()) {
+			return;
+		}
+		registry.markDecommissioned(n);
+	}
+}
+`
+
+func caseHdfsDecommission() *ticket.Case {
+	v2 := hdfsDecomBase
+	v1 := weaken(v2, "if (n == null || !n.isFullyReplicated()) {\n			return;\n		}\n		registry.markDecommissioned(n);\n	}\n}\n",
+		"if (n == null) {\n			return;\n		}\n		registry.markDecommissioned(n);\n	}\n}\n")
+	v4 := hdfsDecomBase + hdfsDecomMaintenanceFixed
+	v3 := weaken(v4, "	void exitMaintenance(DataNode n) {\n		if (n == null || !n.isFullyReplicated()) {",
+		"	void exitMaintenance(DataNode n) {\n		if (n == null) {")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "DecomTest.decommissionReplicatedNode",
+			Description: "a fully replicated node completes decommission",
+			Class:       "DecomTest", Method: "decommissionReplicatedNode",
+			Source: `
+class DecomTest {
+	static void decommissionReplicatedNode() {
+		NodeRegistry r = new NodeRegistry();
+		DecommissionManager m = new DecommissionManager(r);
+		DataNode n = new DataNode();
+		n.id = "dn1";
+		n.fullyReplicated = true;
+		m.completeDecommission(n);
+		assertTrue(r.isDecommissioned("dn1"), "decommissioned");
+	}
+}
+`,
+		},
+		{
+			Name:        "DecomTest.decommissionWaitsForReplication",
+			Description: "an under-replicated node must not complete decommission",
+			Class:       "DecomTest", Method: "decommissionWaitsForReplication",
+			Source: `
+class DecomTest {
+	static void decommissionWaitsForReplication() {
+		NodeRegistry r = new NodeRegistry();
+		DecommissionManager m = new DecommissionManager(r);
+		DataNode n = new DataNode();
+		n.id = "dn2";
+		n.fullyReplicated = false;
+		m.completeDecommission(n);
+		assertTrue(!r.isDecommissioned("dn2"), "still waiting");
+	}
+}
+`,
+		},
+		{
+			Name:        "DecomTest.maintenanceExitPath",
+			Description: "exiting maintenance mode marks the node via the registry",
+			Class:       "DecomTest", Method: "maintenanceExitPath",
+			Source: `
+class DecomTest {
+	static void maintenanceExitPath() {
+		NodeRegistry r = new NodeRegistry();
+		MaintenanceManager m = new MaintenanceManager(r);
+		DataNode n = new DataNode();
+		n.id = "dn3";
+		n.fullyReplicated = false;
+		m.exitMaintenance(n);
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "hdfs-decommission",
+		System:  "hdfssim",
+		Feature: "datanode decommissioning",
+		Description: "Marking a node decommissioned before its blocks are re-replicated silently drops " +
+			"the only replicas.",
+		FirstReported: 2014, LastReported: 2021, FeatureBugCount: 10,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "HDF-7374",
+				Title: "Decommission completes with under-replicated blocks",
+				Description: "completeDecommission marked nodes decommissioned without checking " +
+					"replication; blocks with single replicas were lost.",
+				Discussion:      []string{"Gate on isFullyReplicated."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "HDF-11218",
+				Title: "Maintenance-mode exit repeats the decommission mistake",
+				Description: "The new maintenance-mode feature marks nodes decommissioned on exit " +
+					"without the replication check.",
+				Discussion:      []string{"Same replication gate on the maintenance path."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Tests: tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 9: hdfs-safemode — namespace mutations must be rejected while the
+// namenode is in safe mode. Three mutation paths repeated the mistake.
+// ---------------------------------------------------------------------------
+
+const hdfsSafemodeV6 = `
+class FSState {
+	bool safeMode;
+
+	bool isInSafeMode() {
+		return safeMode;
+	}
+}
+
+class EditLog {
+	list ops;
+
+	void init() {
+		ops = newList();
+	}
+
+	void append(FSState st, string op) {
+		ops.add(op);
+	}
+}
+
+class DeleteHandler {
+	EditLog editLog;
+
+	void init(EditLog e) {
+		editLog = e;
+	}
+
+	void deletePath(FSState st, string path) {
+		if (st == null || st.isInSafeMode()) {
+			throw "SafeModeException";
+		}
+		editLog.append(st, "delete " + path);
+	}
+}
+
+class RenameHandler {
+	EditLog editLog;
+
+	void init(EditLog e) {
+		editLog = e;
+	}
+
+	void renamePath(FSState st, string src, string dst) {
+		if (st == null || st.isInSafeMode()) {
+			throw "SafeModeException";
+		}
+		editLog.append(st, "rename " + src + " " + dst);
+	}
+}
+
+class PermissionHandler {
+	EditLog editLog;
+
+	void init(EditLog e) {
+		editLog = e;
+	}
+
+	void setPermission(FSState st, string path, int mode) {
+		if (st == null || st.isInSafeMode()) {
+			throw "SafeModeException";
+		}
+		editLog.append(st, "chmod " + path + " " + str(mode));
+	}
+}
+`
+
+func caseHdfsSafemode() *ticket.Case {
+	v6 := hdfsSafemodeV6
+	// v5: setPermission missing the guard (bug 3); v4: fixed rename; ...
+	v5 := weaken(v6, "	void setPermission(FSState st, string path, int mode) {\n		if (st == null || st.isInSafeMode()) {",
+		"	void setPermission(FSState st, string path, int mode) {\n		if (st == null) {")
+	v4 := v6
+	v3 := weaken(v4, "	void renamePath(FSState st, string src, string dst) {\n		if (st == null || st.isInSafeMode()) {",
+		"	void renamePath(FSState st, string src, string dst) {\n		if (st == null) {")
+	// The rename bug predates the permission path's guard state; keep the
+	// permission handler guarded in v3/v4 so each ticket isolates one path.
+	v2 := v4
+	v1 := weaken(v2, "	void deletePath(FSState st, string path) {\n		if (st == null || st.isInSafeMode()) {",
+		"	void deletePath(FSState st, string path) {\n		if (st == null) {")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "SafeModeTest.deleteRejectedInSafeMode",
+			Description: "delete is rejected while the namenode is in safe mode",
+			Class:       "SafeModeTest", Method: "deleteRejectedInSafeMode",
+			Source: `
+class SafeModeTest {
+	static void deleteRejectedInSafeMode() {
+		EditLog e = new EditLog();
+		DeleteHandler d = new DeleteHandler(e);
+		FSState st = new FSState();
+		st.safeMode = true;
+		bool rejected = false;
+		try {
+			d.deletePath(st, "/tmp/x");
+		} catch (ex) {
+			rejected = true;
+		}
+		assertTrue(rejected, "delete rejected");
+		assertTrue(e.ops.size() == 0, "no edit logged");
+	}
+}
+`,
+		},
+		{
+			Name:        "SafeModeTest.deleteAppliesWhenActive",
+			Description: "delete applies and logs an edit once safe mode exits",
+			Class:       "SafeModeTest", Method: "deleteAppliesWhenActive",
+			Source: `
+class SafeModeTest {
+	static void deleteAppliesWhenActive() {
+		EditLog e = new EditLog();
+		DeleteHandler d = new DeleteHandler(e);
+		FSState st = new FSState();
+		st.safeMode = false;
+		d.deletePath(st, "/tmp/y");
+		assertTrue(e.ops.size() == 1, "edit logged");
+	}
+}
+`,
+		},
+		{
+			Name:        "SafeModeTest.renamePath",
+			Description: "rename logs an edit with source and destination",
+			Class:       "SafeModeTest", Method: "renamePath",
+			Source: `
+class SafeModeTest {
+	static void renamePath() {
+		EditLog e = new EditLog();
+		RenameHandler r = new RenameHandler(e);
+		FSState st = new FSState();
+		st.safeMode = true;
+		try {
+			r.renamePath(st, "/a", "/b");
+		} catch (ex) {
+			log(ex);
+		}
+	}
+}
+`,
+		},
+		{
+			Name:        "SafeModeTest.setPermission",
+			Description: "set permission logs a chmod edit for the path",
+			Class:       "SafeModeTest", Method: "setPermission",
+			Source: `
+class SafeModeTest {
+	static void setPermission() {
+		EditLog e = new EditLog();
+		PermissionHandler p = new PermissionHandler(e);
+		FSState st = new FSState();
+		st.safeMode = true;
+		try {
+			p.setPermission(st, "/a", 644);
+		} catch (ex) {
+			log(ex);
+		}
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "hdfs-safemode",
+		System:  "hdfssim",
+		Feature: "safe mode enforcement",
+		Description: "While in safe mode the namespace is read-only; every mutation RPC needs the safe " +
+			"mode gate, and three of them shipped without it over the years.",
+		FirstReported: 2011, LastReported: 2024, FeatureBugCount: 21,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "HDF-2114",
+				Title: "Delete mutates namespace during safe mode",
+				Description: "deletePath logged edits while the namenode was still in safe mode, " +
+					"corrupting the edit log replay after restart.",
+				Discussion:      []string{"Gate every mutation on isInSafeMode."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[0]},
+			},
+			{
+				ID:    "HDF-5079",
+				Title: "Rename bypasses the safe mode gate",
+				Description: "renamePath shipped without the safe-mode check that delete gained in " +
+					"HDF-2114.",
+				Discussion:      []string{"Same gate, second mutation path."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+			{
+				ID:              "HDF-15293",
+				Title:           "setPermission mutates during safe mode",
+				Description:     "A decade after HDF-2114, the permission path repeated the same omission.",
+				Discussion:      []string{"Third occurrence of the same low-level semantics."},
+				BuggySource:     v5,
+				FixedSource:     v6,
+				RegressionTests: []ticket.TestCase{tests[3]},
+			},
+		},
+		Tests: tests,
+	}
+}

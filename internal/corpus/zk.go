@@ -1,0 +1,1066 @@
+package corpus
+
+import "lisa/internal/ticket"
+
+// ---------------------------------------------------------------------------
+// Case 1: zk-ephemeral — the paper's running example (ZK-1208 -> ZK-1496).
+// An ephemeral node must never be created on a closing session. The first
+// fix guards PrepRequestProcessor; a year later a new request path through
+// SessionTracker reaches the same creation logic without the guard.
+// ---------------------------------------------------------------------------
+
+const zkEphemeralBase = `
+class Session {
+	string id;
+	bool closing;
+	int ttl;
+
+	bool isClosing() {
+		return closing;
+	}
+}
+
+class DataTree {
+	map nodes;
+	map ephemerals;
+
+	void init() {
+		nodes = newMap();
+		ephemerals = newMap();
+	}
+
+	void createNode(string path, string data) {
+		nodes.put(path, data);
+	}
+
+	void createEphemeral(string path, Session owner) {
+		nodes.put(path, owner.id);
+		ephemerals.put(path, owner);
+	}
+
+	void deleteNode(string path) {
+		nodes.remove(path);
+		ephemerals.remove(path);
+	}
+
+	bool exists(string path) {
+		return nodes.has(path);
+	}
+
+	void removeEphemeralsFor(Session s) {
+		list stale = newList();
+		for (p in ephemerals.keys()) {
+			if (ephemerals.get(p) == s) {
+				stale.add(p);
+			}
+		}
+		for (p in stale) {
+			deleteNode(p);
+		}
+	}
+}
+
+class RequestStats {
+	int created;
+	int rejected;
+
+	void countCreate() {
+		created = created + 1;
+	}
+
+	void countReject() {
+		rejected = rejected + 1;
+	}
+}
+
+class PrepRequestProcessor {
+	DataTree tree;
+	RequestStats stats;
+	bool traceEnabled;
+
+	void init(DataTree t) {
+		tree = t;
+		stats = new RequestStats();
+		traceEnabled = false;
+	}
+
+	void pRequest2TxnCreate(string path, Session s, bool ephemeral) {
+		if (traceEnabled) {
+			log("pRequest2Txn create " + path);
+		}
+		if (s == null || s.isClosing()) {
+			stats.countReject();
+			throw "KeeperException.SessionExpired";
+		}
+		stats.countCreate();
+		if (ephemeral) {
+			tree.createEphemeral(path, s);
+		} else {
+			tree.createNode(path, "");
+		}
+	}
+}
+`
+
+// zkEphemeralRouter models the guard-in-caller layering common in request
+// pipelines: the internal helper performs the ephemeral creation without
+// its own check, and its only production caller enforces the rule. Only
+// interprocedural condition inheritance proves these paths safe.
+const zkEphemeralRouter = `
+class EphemeralHelper {
+	DataTree tree;
+
+	void init(DataTree t) {
+		tree = t;
+	}
+
+	void doRegister(string path, Session sess) {
+		tree.createEphemeral(path, sess);
+	}
+}
+
+class ClientRequestRouter {
+	EphemeralHelper helper;
+
+	void init(EphemeralHelper h) {
+		helper = h;
+	}
+
+	void routeCreate(string path, Session s) {
+		if (s == null || s.isClosing()) {
+			throw "KeeperException.SessionExpired";
+		}
+		helper.doRegister(path, s);
+	}
+}
+`
+
+const zkEphemeralTrackerFixed = `
+class SessionTracker {
+	DataTree tree;
+	int touches;
+	bool verbose;
+
+	void init(DataTree t) {
+		tree = t;
+		touches = 0;
+		verbose = false;
+	}
+
+	void touchSession(string path, Session s) {
+		touches = touches + 1;
+		if (verbose) {
+			log("touch " + path);
+		}
+		if (s == null || s.isClosing()) {
+			return;
+		}
+		tree.createEphemeral(path, s);
+	}
+}
+`
+
+func caseZkEphemeral() *ticket.Case {
+	v2 := zkEphemeralBase + zkEphemeralRouter
+	v1 := weaken(v2, "if (s == null || s.isClosing()) {\n			stats.countReject();", "if (s == null) {\n			stats.countReject();")
+	v4 := zkEphemeralBase + zkEphemeralRouter + zkEphemeralTrackerFixed
+	v3 := weaken(v4, "if (s == null || s.isClosing()) {\n			return;", "if (s == null) {\n			return;")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "EphemeralTest.createOnLiveSession",
+			Description: "creating an ephemeral node on a live session succeeds and registers the owner",
+			Class:       "EphemeralTest", Method: "createOnLiveSession",
+			Source: `
+class EphemeralTest {
+	static void createOnLiveSession() {
+		DataTree t = new DataTree();
+		PrepRequestProcessor p = new PrepRequestProcessor(t);
+		Session s = new Session();
+		s.id = "s1";
+		s.closing = false;
+		p.pRequest2TxnCreate("/brokers/ids/1", s, true);
+		assertTrue(t.exists("/brokers/ids/1"), "ephemeral registered");
+	}
+}
+`,
+		},
+		{
+			Name:        "EphemeralTest.createRejectsClosingSession",
+			Description: "creating an ephemeral node on a closing session is rejected with SessionExpired",
+			Class:       "EphemeralTest", Method: "createRejectsClosingSession",
+			Source: `
+class EphemeralTest {
+	static void createRejectsClosingSession() {
+		DataTree t = new DataTree();
+		PrepRequestProcessor p = new PrepRequestProcessor(t);
+		Session s = new Session();
+		s.id = "s2";
+		s.closing = true;
+		bool rejected = false;
+		try {
+			p.pRequest2TxnCreate("/brokers/ids/2", s, true);
+		} catch (e) {
+			rejected = true;
+		}
+		assertTrue(rejected, "closing session rejected");
+		assertTrue(!t.exists("/brokers/ids/2"), "no stale node");
+	}
+}
+`,
+		},
+		{
+			Name:        "EphemeralTest.persistentNodeIgnoresSessionState",
+			Description: "persistent node creation path for regular data nodes",
+			Class:       "EphemeralTest", Method: "persistentNodeIgnoresSessionState",
+			Source: `
+class EphemeralTest {
+	static void persistentNodeIgnoresSessionState() {
+		DataTree t = new DataTree();
+		PrepRequestProcessor p = new PrepRequestProcessor(t);
+		Session s = new Session();
+		s.id = "s3";
+		p.pRequest2TxnCreate("/config/topics", s, false);
+		assertTrue(t.exists("/config/topics"), "persistent node created");
+	}
+}
+`,
+		},
+		{
+			Name:        "EphemeralTest.cleanupRemovesOwnedNodes",
+			Description: "session close removes every ephemeral node owned by the session",
+			Class:       "EphemeralTest", Method: "cleanupRemovesOwnedNodes",
+			Source: `
+class EphemeralTest {
+	static void cleanupRemovesOwnedNodes() {
+		DataTree t = new DataTree();
+		PrepRequestProcessor p = new PrepRequestProcessor(t);
+		Session s = new Session();
+		s.id = "s4";
+		p.pRequest2TxnCreate("/consumers/c1", s, true);
+		t.removeEphemeralsFor(s);
+		assertTrue(!t.exists("/consumers/c1"), "cleanup removed node");
+	}
+}
+`,
+		},
+		{
+			Name:        "RouterTest.routedCreateOnLiveSession",
+			Description: "client request router registers ephemeral node via the internal helper",
+			Class:       "RouterTest", Method: "routedCreateOnLiveSession",
+			Source: `
+class RouterTest {
+	static void routedCreateOnLiveSession() {
+		DataTree t = new DataTree();
+		EphemeralHelper h = new EphemeralHelper(t);
+		ClientRequestRouter r = new ClientRequestRouter(h);
+		Session s = new Session();
+		s.id = "s7";
+		s.closing = false;
+		r.routeCreate("/routed/a", s);
+		assertTrue(t.exists("/routed/a"), "routed registration");
+	}
+}
+`,
+		},
+		{
+			Name:        "TrackerTest.touchRegistersConsumerAddress",
+			Description: "session tracker touch registers a consumer address ephemeral node for kafka",
+			Class:       "TrackerTest", Method: "touchRegistersConsumerAddress",
+			Source: `
+class TrackerTest {
+	static void touchRegistersConsumerAddress() {
+		DataTree t = new DataTree();
+		SessionTracker tr = new SessionTracker(t);
+		Session s = new Session();
+		s.id = "s5";
+		s.closing = true;
+		tr.touchSession("/consumers/addr", s);
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "zk-ephemeral",
+		System:  "zksim",
+		Feature: "ephemeral nodes",
+		Description: "Ephemeral nodes are temporary records that disappear when the client session ends; " +
+			"creating one on a closing session leaves stale data that clients keep reading.",
+		FirstReported: 2011, LastReported: 2025, FeatureBugCount: 46,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "ZKS-1208",
+				Title: "Ephemeral node not removed after the client session is long gone",
+				Description: "Kafka registered consumer addresses as ephemeral nodes. A race in the " +
+					"request pipeline allowed creating an ephemeral node on a session already in the " +
+					"CLOSING state; the node survived the session and clients kept querying a dead address.",
+				Discussion: []string{
+					"Root cause: pRequest2TxnCreate only checks for null sessions.",
+					"Reject the create request if the session is closing.",
+				},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "ZKS-1496",
+				Title: "Ephemeral node not getting cleared even after client has exited",
+				Description: "One year later: a new execution path through SessionTracker.touchSession " +
+					"reaches the same ephemeral creation logic without the closing-session check. The " +
+					"whole kafka cluster got stuck in zombie mode again.",
+				Discussion: []string{
+					"Same semantics as ZKS-1208, violated on a different path.",
+					"The original test only exercised the PrepRequestProcessor workload.",
+				},
+				BuggySource: v3,
+				FixedSource: v4,
+				RegressionTests: []ticket.TestCase{
+					{
+						Name:        "TrackerTest.touchRejectsClosingSession",
+						Description: "touch on closing session must not register an ephemeral node",
+						Class:       "TrackerTest", Method: "touchRejectsClosingSession",
+						Source: `
+class TrackerTest {
+	static void touchRejectsClosingSession() {
+		DataTree t = new DataTree();
+		SessionTracker tr = new SessionTracker(t);
+		Session s = new Session();
+		s.id = "s6";
+		s.closing = true;
+		tr.touchSession("/consumers/zombie", s);
+		assertTrue(!t.exists("/consumers/zombie"), "no zombie registration");
+	}
+}
+`,
+					},
+				},
+			},
+		},
+		Tests: tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 2: zk-sync-serialize — Figure 6 (ZK-2201 -> ZK-3531). Blocking
+// serialization inside a synchronized block wedges every writer. The first
+// fix rewrote snapshot serialization to copy-then-write; a year later the
+// ACL cache's new serializer blocked inside its own synchronized block.
+// ---------------------------------------------------------------------------
+
+const zkSyncBase = `
+class SyncRequestProcessor {
+	list nodes;
+	int scount;
+
+	void init() {
+		nodes = newList();
+		scount = 0;
+	}
+
+	void addNode(string path) {
+		synchronized (nodes) {
+			nodes.add(path);
+		}
+	}
+
+	void serializeNode(string pathStr) {
+		scount = scount + 1;
+		list snapshot = newList();
+		synchronized (nodes) {
+			snapshot.addAll(nodes);
+		}
+		for (n in snapshot) {
+			ioWrite("snap", n);
+		}
+	}
+}
+`
+
+const zkSyncACLFixed = `
+class ReferenceCountedACLCache {
+	map longKeyMap;
+
+	void init() {
+		longKeyMap = newMap();
+	}
+
+	void addACL(int key, string acl) {
+		synchronized (longKeyMap) {
+			longKeyMap.put(key, acl);
+		}
+	}
+
+	void serialize() {
+		list entries = newList();
+		synchronized (longKeyMap) {
+			for (k in longKeyMap.keys()) {
+				entries.add(longKeyMap.get(k));
+			}
+		}
+		ioWrite("acl-count", len(entries));
+		for (acl in entries) {
+			ioWrite("acl", acl);
+		}
+	}
+}
+`
+
+func caseZkSyncSerialize() *ticket.Case {
+	v2 := zkSyncBase
+	v1 := weaken(v2, `		scount = scount + 1;
+		list snapshot = newList();
+		synchronized (nodes) {
+			snapshot.addAll(nodes);
+		}
+		for (n in snapshot) {
+			ioWrite("snap", n);
+		}`, `		scount = scount + 1;
+		synchronized (nodes) {
+			for (n in nodes) {
+				ioWrite("snap", n);
+			}
+		}`)
+	v4 := zkSyncBase + zkSyncACLFixed
+	v3 := weaken(v4, `		list entries = newList();
+		synchronized (longKeyMap) {
+			for (k in longKeyMap.keys()) {
+				entries.add(longKeyMap.get(k));
+			}
+		}
+		ioWrite("acl-count", len(entries));
+		for (acl in entries) {
+			ioWrite("acl", acl);
+		}`, `		synchronized (longKeyMap) {
+			ioWrite("acl-count", longKeyMap.size());
+			for (k in longKeyMap.keys()) {
+				ioWrite("acl", longKeyMap.get(k));
+			}
+		}`)
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "SyncTest.snapshotWritesAllNodes",
+			Description: "snapshot serialization writes every node without holding the tree lock",
+			Class:       "SyncTest", Method: "snapshotWritesAllNodes",
+			Source: `
+class SyncTest {
+	static void snapshotWritesAllNodes() {
+		SyncRequestProcessor sp = new SyncRequestProcessor();
+		sp.addNode("/a");
+		sp.addNode("/b");
+		sp.serializeNode("/");
+		assertTrue(sp.scount == 1, "one snapshot pass");
+	}
+}
+`,
+		},
+		{
+			Name:        "SyncTest.aclCacheSerializes",
+			Description: "acl cache serialization writes every cached acl entry",
+			Class:       "SyncTest", Method: "aclCacheSerializes",
+			Source: `
+class SyncTest {
+	static void aclCacheSerializes() {
+		ReferenceCountedACLCache c = new ReferenceCountedACLCache();
+		c.addACL(1, "world:anyone");
+		c.addACL(2, "digest:admin");
+		c.serialize();
+		assertTrue(true, "serialized");
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "zk-sync-serialize",
+		System:  "zksim",
+		Feature: "snapshot serialization under locks",
+		Description: "Serialization calls that block inside synchronized blocks silently wedge all " +
+			"writers — the zombie-cluster failure mode. The rule generalizes beyond any single function: " +
+			"no blocking I/O within synchronized blocks.",
+		FirstReported: 2015, LastReported: 2019, FeatureBugCount: 11,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "ZKS-2201",
+				Title: "Network issues cause cluster to hang due to near-deadlock",
+				Description: "serializeNode performs blocking writes while holding the node lock; when " +
+					"the disk stalled, write operations were silently blocked cluster-wide.",
+				Discussion: []string{
+					"Copy the nodes under the lock, write outside it.",
+					"Lesson: serialization must not block inside synchronized sections.",
+				},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[0]},
+			},
+			{
+				ID:    "ZKS-3531",
+				Title: "Synchronized serialization blocks again, this time in the ACL cache",
+				Description: "One year later the new ReferenceCountedACLCache.serialize writes ACL " +
+					"entries while holding the cache lock — the same class of stall in a different " +
+					"serialization function.",
+				Discussion: []string{
+					"The ZKS-2201 lesson was encoded as a test for serializeNode only.",
+					"Generalize: no blocking I/O within synchronized blocks anywhere.",
+				},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+		},
+		Tests: tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 3: zk-session-expiry — renewing an expired session must be refused,
+// or expired clients silently keep their leases.
+// ---------------------------------------------------------------------------
+
+const zkExpiryBase = `
+class ZSession {
+	string id;
+	bool expired;
+
+	bool isExpired() {
+		return expired;
+	}
+}
+
+class LeaseStore {
+	map leases;
+
+	void init() {
+		leases = newMap();
+	}
+
+	void renew(ZSession s) {
+		leases.put(s.id, "active");
+	}
+
+	bool active(string id) {
+		return leases.has(id);
+	}
+}
+
+class SessionManager {
+	LeaseStore store;
+
+	void init(LeaseStore st) {
+		store = st;
+	}
+
+	bool touch(ZSession s) {
+		if (s == null || s.isExpired()) {
+			return false;
+		}
+		store.renew(s);
+		return true;
+	}
+}
+`
+
+const zkExpiryReadOnlyFixed = `
+class ReadOnlyRequestProcessor {
+	LeaseStore store;
+
+	void init(LeaseStore st) {
+		store = st;
+	}
+
+	void processPing(ZSession s) {
+		if (s == null || s.isExpired()) {
+			throw "SessionExpiredException";
+		}
+		store.renew(s);
+	}
+}
+`
+
+func caseZkSessionExpiry() *ticket.Case {
+	v2 := zkExpiryBase
+	v1 := weaken(v2, "if (s == null || s.isExpired()) {\n			return false;", "if (s == null) {\n			return false;")
+	v4 := zkExpiryBase + zkExpiryReadOnlyFixed
+	v3 := weaken(v4, "if (s == null || s.isExpired()) {\n			throw", "if (s == null) {\n			throw")
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "ExpiryTest.touchRenewsLiveSession",
+			Description: "touching a live session renews its lease in the store",
+			Class:       "ExpiryTest", Method: "touchRenewsLiveSession",
+			Source: `
+class ExpiryTest {
+	static void touchRenewsLiveSession() {
+		LeaseStore st = new LeaseStore();
+		SessionManager m = new SessionManager(st);
+		ZSession s = new ZSession();
+		s.id = "z1";
+		s.expired = false;
+		assertTrue(m.touch(s), "touch succeeded");
+		assertTrue(st.active("z1"), "lease renewed");
+	}
+}
+`,
+		},
+		{
+			Name:        "ExpiryTest.touchRefusesExpiredSession",
+			Description: "touching an expired session must not renew the lease",
+			Class:       "ExpiryTest", Method: "touchRefusesExpiredSession",
+			Source: `
+class ExpiryTest {
+	static void touchRefusesExpiredSession() {
+		LeaseStore st = new LeaseStore();
+		SessionManager m = new SessionManager(st);
+		ZSession s = new ZSession();
+		s.id = "z2";
+		s.expired = true;
+		assertTrue(!m.touch(s), "expired touch refused");
+		assertTrue(!st.active("z2"), "no lease for expired session");
+	}
+}
+`,
+		},
+		{
+			Name:        "ExpiryTest.pingRenewsThroughReadOnlyPath",
+			Description: "read-only ping path renews session leases like touch does",
+			Class:       "ExpiryTest", Method: "pingRenewsThroughReadOnlyPath",
+			Source: `
+class ExpiryTest {
+	static void pingRenewsThroughReadOnlyPath() {
+		LeaseStore st = new LeaseStore();
+		ReadOnlyRequestProcessor ro = new ReadOnlyRequestProcessor(st);
+		ZSession s = new ZSession();
+		s.id = "z3";
+		s.expired = true;
+		try {
+			ro.processPing(s);
+		} catch (e) {
+			log(e);
+		}
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "zk-session-expiry",
+		System:  "zksim",
+		Feature: "session expiry",
+		Description: "An expired session must never have its lease renewed; otherwise dead clients hold " +
+			"locks and ephemeral state forever.",
+		FirstReported: 2012, LastReported: 2021, FeatureBugCount: 17,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "ZKS-1622",
+				Title: "Expired session revived by touch",
+				Description: "SessionManager.touch renewed leases for sessions that had already expired, " +
+					"letting dead clients keep distributed locks.",
+				Discussion:      []string{"Add the isExpired check before renewing."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "ZKS-3056",
+				Title: "Read-only ping path revives expired sessions",
+				Description: "The new ReadOnlyRequestProcessor introduced a ping path that renews leases " +
+					"without the expiry check — the ZKS-1622 semantics violated again.",
+				Discussion:      []string{"Same invariant; the ping path bypassed the touch guard."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Tests: tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 4: zk-watch-trigger — watch events must only be delivered to
+// connected watchers; delivering to a disconnected one loses the event
+// permanently (the client never re-registers).
+// ---------------------------------------------------------------------------
+
+const zkWatchBase = `
+class Watcher {
+	string addr;
+	bool connected;
+
+	bool isConnected() {
+		return connected;
+	}
+}
+
+class EventDispatcher {
+	list delivered;
+	list dropped;
+
+	void init() {
+		delivered = newList();
+		dropped = newList();
+	}
+
+	void deliver(Watcher w, string event) {
+		delivered.add(w.addr + ":" + event);
+	}
+
+	void drop(Watcher w, string event) {
+		dropped.add(w.addr + ":" + event);
+	}
+}
+
+class WatchManager {
+	EventDispatcher dispatcher;
+	map watchesByPath;
+
+	void init(EventDispatcher d) {
+		dispatcher = d;
+		watchesByPath = newMap();
+	}
+
+	void register(string path, Watcher w) {
+		watchesByPath.put(path, w);
+	}
+
+	void triggerWatch(string path, string event) {
+		if (watchesByPath.has(path)) {
+			Watcher w = watchesByPath.get(path);
+			if (w.isConnected()) {
+				dispatcher.deliver(w, event);
+			} else {
+				dispatcher.drop(w, event);
+			}
+		}
+	}
+}
+`
+
+const zkWatchChildFixed = `
+class ChildWatchManager {
+	EventDispatcher dispatcher;
+	map childWatches;
+
+	void init(EventDispatcher d) {
+		dispatcher = d;
+		childWatches = newMap();
+	}
+
+	void register(string parent, Watcher w) {
+		childWatches.put(parent, w);
+	}
+
+	void triggerChildWatch(string parent, string event) {
+		if (childWatches.has(parent)) {
+			Watcher w = childWatches.get(parent);
+			if (w.isConnected()) {
+				dispatcher.deliver(w, event);
+			} else {
+				dispatcher.drop(w, event);
+			}
+		}
+	}
+}
+`
+
+func caseZkWatchTrigger() *ticket.Case {
+	v2 := zkWatchBase
+	v1 := weaken(v2, `			if (w.isConnected()) {
+				dispatcher.deliver(w, event);
+			} else {
+				dispatcher.drop(w, event);
+			}`, `			dispatcher.deliver(w, event);`)
+	v4 := zkWatchBase + zkWatchChildFixed
+	v3 := weaken(v4, `			Watcher w = childWatches.get(parent);
+			if (w.isConnected()) {
+				dispatcher.deliver(w, event);
+			} else {
+				dispatcher.drop(w, event);
+			}`, `			Watcher w = childWatches.get(parent);
+			dispatcher.deliver(w, event);`)
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "WatchTest.deliverToConnectedWatcher",
+			Description: "node data watch event delivered to a connected watcher",
+			Class:       "WatchTest", Method: "deliverToConnectedWatcher",
+			Source: `
+class WatchTest {
+	static void deliverToConnectedWatcher() {
+		EventDispatcher d = new EventDispatcher();
+		WatchManager m = new WatchManager(d);
+		Watcher w = new Watcher();
+		w.addr = "c1";
+		w.connected = true;
+		m.register("/a", w);
+		m.triggerWatch("/a", "NodeDataChanged");
+		assertTrue(d.delivered.size() == 1, "event delivered");
+	}
+}
+`,
+		},
+		{
+			Name:        "WatchTest.dropForDisconnectedWatcher",
+			Description: "watch event for a disconnected watcher is dropped not delivered",
+			Class:       "WatchTest", Method: "dropForDisconnectedWatcher",
+			Source: `
+class WatchTest {
+	static void dropForDisconnectedWatcher() {
+		EventDispatcher d = new EventDispatcher();
+		WatchManager m = new WatchManager(d);
+		Watcher w = new Watcher();
+		w.addr = "c2";
+		w.connected = false;
+		m.register("/b", w);
+		m.triggerWatch("/b", "NodeDeleted");
+		assertTrue(d.delivered.size() == 0, "nothing delivered");
+		assertTrue(d.dropped.size() == 1, "event dropped");
+	}
+}
+`,
+		},
+		{
+			Name:        "WatchTest.childWatchDelivery",
+			Description: "child watch event delivery through the child watch manager",
+			Class:       "WatchTest", Method: "childWatchDelivery",
+			Source: `
+class WatchTest {
+	static void childWatchDelivery() {
+		EventDispatcher d = new EventDispatcher();
+		ChildWatchManager m = new ChildWatchManager(d);
+		Watcher w = new Watcher();
+		w.addr = "c3";
+		w.connected = false;
+		m.register("/parent", w);
+		m.triggerChildWatch("/parent", "NodeChildrenChanged");
+		assertTrue(d.delivered.size() == 0, "disconnected child watcher skipped");
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "zk-watch-trigger",
+		System:  "zksim",
+		Feature: "watch notification",
+		Description: "Watch events delivered to disconnected watchers are lost forever; the dispatcher " +
+			"must check connectivity and park the event instead.",
+		FirstReported: 2013, LastReported: 2022, FeatureBugCount: 9,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "ZKS-1853",
+				Title: "Watch event lost when client disconnected during trigger",
+				Description: "triggerWatch delivered the event to a watcher whose connection had dropped; " +
+					"the client never saw the change and cached stale data indefinitely.",
+				Discussion:      []string{"Check watcher connectivity; drop-and-park instead of deliver."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "ZKS-2512",
+				Title: "Child watch events lost for disconnected watchers",
+				Description: "The child-watch manager added for hierarchical notifications delivers to " +
+					"disconnected watchers — the ZKS-1853 semantics violated on the new path.",
+				Discussion:      []string{"Same connectivity rule for every dispatcher entry point."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Tests: tests,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Case 5: zk-quota — writes must be charged against the quota ledger only
+// when the quota is not already exceeded, or accounting corrupts.
+// ---------------------------------------------------------------------------
+
+const zkQuotaBase = `
+class Quota {
+	string path;
+	bool exceeded;
+
+	bool isExceeded() {
+		return exceeded;
+	}
+}
+
+class QuotaLedger {
+	map charges;
+
+	void init() {
+		charges = newMap();
+	}
+
+	void charge(Quota q, int bytes) {
+		int cur = 0;
+		if (charges.has(q.path)) {
+			cur = charges.get(q.path);
+		}
+		charges.put(q.path, cur + bytes);
+	}
+
+	int charged(string path) {
+		if (charges.has(path)) {
+			return charges.get(path);
+		}
+		return 0;
+	}
+}
+
+class SetDataProcessor {
+	QuotaLedger ledger;
+
+	void init(QuotaLedger l) {
+		ledger = l;
+	}
+
+	void setData(Quota q, int bytes) {
+		if (q == null || q.isExceeded()) {
+			throw "QuotaExceededException";
+		}
+		ledger.charge(q, bytes);
+	}
+}
+`
+
+const zkQuotaMultiFixed = `
+class MultiTxnProcessor {
+	QuotaLedger ledger;
+
+	void init(QuotaLedger l) {
+		ledger = l;
+	}
+
+	void applyBatch(Quota q, list sizes) {
+		if (q == null || q.isExceeded()) {
+			throw "QuotaExceededException";
+		}
+		for (b in sizes) {
+			ledger.charge(q, b);
+		}
+	}
+}
+`
+
+func caseZkQuota() *ticket.Case {
+	v2 := zkQuotaBase
+	v1 := weaken(v2, "if (q == null || q.isExceeded()) {\n			throw", "if (q == null) {\n			throw")
+	v4 := zkQuotaBase + zkQuotaMultiFixed
+	v3 := weaken(v4, `	void applyBatch(Quota q, list sizes) {
+		if (q == null || q.isExceeded()) {
+			throw "QuotaExceededException";
+		}
+		for (b in sizes) {`, `	void applyBatch(Quota q, list sizes) {
+		if (q == null) {
+			throw "QuotaExceededException";
+		}
+		for (b in sizes) {`)
+
+	tests := []ticket.TestCase{
+		{
+			Name:        "QuotaTest.setDataChargesLedger",
+			Description: "set data charges bytes against the quota ledger",
+			Class:       "QuotaTest", Method: "setDataChargesLedger",
+			Source: `
+class QuotaTest {
+	static void setDataChargesLedger() {
+		QuotaLedger l = new QuotaLedger();
+		SetDataProcessor p = new SetDataProcessor(l);
+		Quota q = new Quota();
+		q.path = "/app";
+		q.exceeded = false;
+		p.setData(q, 128);
+		assertTrue(l.charged("/app") == 128, "charged");
+	}
+}
+`,
+		},
+		{
+			Name:        "QuotaTest.setDataRejectsExceededQuota",
+			Description: "set data on an exceeded quota throws and charges nothing",
+			Class:       "QuotaTest", Method: "setDataRejectsExceededQuota",
+			Source: `
+class QuotaTest {
+	static void setDataRejectsExceededQuota() {
+		QuotaLedger l = new QuotaLedger();
+		SetDataProcessor p = new SetDataProcessor(l);
+		Quota q = new Quota();
+		q.path = "/full";
+		q.exceeded = true;
+		bool rejected = false;
+		try {
+			p.setData(q, 64);
+		} catch (e) {
+			rejected = true;
+		}
+		assertTrue(rejected, "rejected");
+		assertTrue(l.charged("/full") == 0, "nothing charged");
+	}
+}
+`,
+		},
+		{
+			Name:        "QuotaTest.multiBatchCharges",
+			Description: "multi transaction batch charges every write in the batch",
+			Class:       "QuotaTest", Method: "multiBatchCharges",
+			Source: `
+class QuotaTest {
+	static void multiBatchCharges() {
+		QuotaLedger l = new QuotaLedger();
+		MultiTxnProcessor p = new MultiTxnProcessor(l);
+		Quota q = new Quota();
+		q.path = "/batch";
+		q.exceeded = true;
+		list sizes = newList();
+		sizes.add(10);
+		sizes.add(20);
+		try {
+			p.applyBatch(q, sizes);
+		} catch (e) {
+			log(e);
+		}
+	}
+}
+`,
+		},
+	}
+
+	return &ticket.Case{
+		ID:      "zk-quota",
+		System:  "zksim",
+		Feature: "quota enforcement",
+		Description: "Writes must not be charged once a quota is exceeded; the multi-op path repeated " +
+			"the single-op mistake a release later.",
+		FirstReported: 2014, LastReported: 2023, FeatureBugCount: 8,
+		Tickets: []*ticket.Ticket{
+			{
+				ID:    "ZKS-2770",
+				Title: "setData ignores exceeded quota",
+				Description: "SetDataProcessor charged writes against quotas that were already exceeded, " +
+					"corrupting accounting and letting tenants blow past limits.",
+				Discussion:      []string{"Check isExceeded before charging."},
+				BuggySource:     v1,
+				FixedSource:     v2,
+				RegressionTests: []ticket.TestCase{tests[1]},
+			},
+			{
+				ID:    "ZKS-3301",
+				Title: "Multi-op batch bypasses quota check",
+				Description: "The new MultiTxnProcessor batch path charges every write without the " +
+					"exceeded-quota check — ZKS-2770 all over again.",
+				Discussion:      []string{"Every charge site needs the same quota guard."},
+				BuggySource:     v3,
+				FixedSource:     v4,
+				RegressionTests: []ticket.TestCase{tests[2]},
+			},
+		},
+		Tests: tests,
+	}
+}

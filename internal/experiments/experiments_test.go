@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lisa/internal/corpus"
+)
+
+func TestEveryExperimentRuns(t *testing.T) {
+	c := corpus.Load()
+	for _, e := range Registry {
+		out := e.Run(c)
+		if strings.Contains(out, "error:") {
+			t.Errorf("experiment %s reported an error:\n%s", e.Name, out)
+		}
+		if len(out) < 100 {
+			t.Errorf("experiment %s output suspiciously short:\n%s", e.Name, out)
+		}
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	c := corpus.Load()
+	out, err := Run("study", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "regression cases") || !strings.Contains(out, "16") {
+		t.Errorf("study output:\n%s", out)
+	}
+	if _, err := Run("nope", c); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestTimelineCatchesAllRecurrences(t *testing.T) {
+	c := corpus.Load()
+	out := RunTimeline(c)
+	if !strings.Contains(out, "18/18 recurrences would have been blocked") {
+		t.Errorf("timeline note missing or wrong:\n%s", out)
+	}
+}
+
+func TestComparisonShape(t *testing.T) {
+	c := corpus.Load()
+	out := RunComparison(c)
+	// Testing misses every regression; LISA and exhaustive catch all 18.
+	if !strings.Contains(out, "0/18") {
+		t.Errorf("testing baseline should miss all regressions:\n%s", out)
+	}
+	if strings.Count(out, "18/18") != 2 {
+		t.Errorf("LISA and exhaustive should both detect 18/18:\n%s", out)
+	}
+}
+
+func TestGeneralizeShape(t *testing.T) {
+	c := corpus.Load()
+	out := RunGeneralize(c)
+	if !strings.Contains(out, "literal (site-specific)") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// Literal misses (0 violations, no), generalized catches.
+	lines := strings.Split(out, "\n")
+	var litLine, genLine string
+	for _, l := range lines {
+		if strings.Contains(l, "literal (site-specific)") {
+			litLine = l
+		}
+		if strings.Contains(l, "generalized (behavior class)") {
+			genLine = l
+		}
+	}
+	if !strings.Contains(litLine, "no") {
+		t.Errorf("literal line: %s", litLine)
+	}
+	if !strings.Contains(genLine, "yes") {
+		t.Errorf("general line: %s", genLine)
+	}
+	if !strings.Contains(out, "0 false positives") {
+		t.Errorf("expected zero false positives on fixed heads:\n%s", out)
+	}
+}
+
+func TestLatestScans(t *testing.T) {
+	c := corpus.Load()
+	hb := RunHBaseBug(c)
+	if !strings.Contains(hb, "2 previously unknown unguarded path(s)") {
+		t.Errorf("hbase scan:\n%s", hb)
+	}
+	hd := RunHDFSBug(c)
+	if !strings.Contains(hd, "1 previously unknown unguarded path(s)") {
+		t.Errorf("hdfs scan:\n%s", hd)
+	}
+}
+
+func TestReliabilitySweepShape(t *testing.T) {
+	c := corpus.Load()
+	points := ReliabilitySweep(c, []float64{0, 0.3}, 2)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	clean := points[0]
+	if clean.RawPrecision < 0.999 || clean.RawRecall < 0.999 {
+		t.Errorf("zero-noise point should be perfect: %+v", clean)
+	}
+	noisy := points[1]
+	if noisy.RawPrecision >= clean.RawPrecision {
+		t.Errorf("noise should hurt raw precision: %+v vs %+v", noisy, clean)
+	}
+	if noisy.CheckedPrecision < noisy.RawPrecision {
+		t.Errorf("cross-checking should not hurt precision: %+v", noisy)
+	}
+	if noisy.CheckedPrecision < 0.95 {
+		t.Errorf("cross-checked precision should stay high: %+v", noisy)
+	}
+	if noisy.RejectedPerturbed == 0 {
+		t.Error("cross-check rejected no perturbed rules at 0.3 noise")
+	}
+}
+
+func TestComposeStudy(t *testing.T) {
+	c := corpus.Load()
+	results := ComposeStudy(c)
+	if len(results) < 14 {
+		t.Fatalf("compose results = %d, want >= 14 (state-rule cases)", len(results))
+	}
+	for _, r := range results {
+		if !r.Consistent {
+			t.Errorf("case %s: inconsistent composition", r.CaseID)
+		}
+		if !r.Entails {
+			t.Errorf("case %s: composition does not entail components", r.CaseID)
+		}
+	}
+}
+
+func TestAblationOutput(t *testing.T) {
+	c := corpus.Load()
+	out := RunAblations(c)
+	for _, want := range []string{
+		"relevant-variable pruning",
+		"complement check vs naive",
+		"similarity-based test selection",
+		"VIOLATION",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+	// The naive check must pass the omitted-ttl trace that the complement
+	// check flags.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "omits the ttl check") {
+			if !strings.Contains(line, "VIOLATION") || strings.Count(line, "VERIFIED") != 1 {
+				t.Errorf("ttl line should show complement=VIOLATION naive=VERIFIED: %s", line)
+			}
+		}
+	}
+}
+
+func TestMutationSweepShape(t *testing.T) {
+	c := corpus.Load()
+	out := RunMutation(c)
+	// Semantic assertion must catch every guard-weakening mutant; suite
+	// replay catches only the scenarios pinned by regression tests.
+	if !strings.Contains(out, "56/56 mutants caught by semantic assertion") {
+		t.Errorf("mutation sweep note:\n%s", out)
+	}
+	var lisaTotal, testTotal int
+	if _, err := fmt.Sscanf(lastNote(out), "note: %d/56 mutants caught by semantic assertion vs %d/56", &lisaTotal, &testTotal); err == nil {
+		if testTotal >= lisaTotal {
+			t.Errorf("tests should catch strictly fewer mutants: lisa=%d tests=%d", lisaTotal, testTotal)
+		}
+	}
+}
+
+func lastNote(out string) string {
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		if strings.Contains(lines[i], "note:") {
+			return strings.TrimSpace(lines[i])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"lisa/internal/core"
+	"lisa/internal/interp"
+	"lisa/internal/minij"
+	"lisa/internal/report"
+	"lisa/internal/ticket"
+)
+
+// GuardMutant is one synthetic regression: a guard of the head source with
+// one condition operand dropped (the canonical way recurrences happen — a
+// rewrite keeps the null check and loses the state check).
+type GuardMutant struct {
+	CaseID string
+	Method string
+	// Original and Mutated are canonical guard texts.
+	Original string
+	Mutated  string
+	// Source is the full mutated system source.
+	Source string
+}
+
+// MutateGuards derives guard-weakening mutants of a case's head: every
+// top-level disjunct/conjunct of every if-guard whose variables the case's
+// contracts care about is dropped in turn.
+func MutateGuards(cs *ticket.Case, relevantRoots map[string]bool) []GuardMutant {
+	head := cs.Head()
+	base, err := compileQuiet(head)
+	if err != nil {
+		return nil
+	}
+	// Count candidate guards once on the clean parse.
+	type target struct {
+		ord  int // n-th if statement in program order
+		side int // 0 = drop left operand, 1 = drop right operand
+	}
+	var targets []target
+	ord := 0
+	for _, m := range base.Methods() {
+		minij.WalkStmts(m.Body, func(s minij.Stmt) {
+			ifStmt, ok := s.(*minij.If)
+			if !ok {
+				return
+			}
+			myOrd := ord
+			ord++
+			bin, ok := ifStmt.Cond.(*minij.Binary)
+			if !ok || (bin.Op != "||" && bin.Op != "&&") {
+				return
+			}
+			if !mentionsRoot(ifStmt.Cond, relevantRoots) {
+				return
+			}
+			targets = append(targets, target{ord: myOrd, side: 0}, target{ord: myOrd, side: 1})
+		})
+	}
+	var out []GuardMutant
+	for _, tgt := range targets {
+		// Re-parse for a fresh mutable AST.
+		prog, err := compileQuiet(head)
+		if err != nil {
+			continue
+		}
+		i := 0
+		var mutated *GuardMutant
+		for _, m := range prog.Methods() {
+			method := m
+			minij.WalkStmts(m.Body, func(s minij.Stmt) {
+				ifStmt, ok := s.(*minij.If)
+				if !ok {
+					return
+				}
+				if i != tgt.ord {
+					i++
+					return
+				}
+				i++
+				bin := ifStmt.Cond.(*minij.Binary)
+				orig := minij.CanonExpr(ifStmt.Cond)
+				if tgt.side == 0 {
+					ifStmt.Cond = bin.Y
+				} else {
+					ifStmt.Cond = bin.X
+				}
+				mutated = &GuardMutant{
+					CaseID:   cs.ID,
+					Method:   method.FullName(),
+					Original: orig,
+					Mutated:  minij.CanonExpr(ifStmt.Cond),
+				}
+			})
+		}
+		if mutated == nil {
+			continue
+		}
+		src := minij.FormatProgram(prog)
+		if _, err := compileQuiet(src); err != nil {
+			continue
+		}
+		mutated.Source = src
+		out = append(out, *mutated)
+	}
+	return out
+}
+
+func mentionsRoot(e minij.Expr, roots map[string]bool) bool {
+	for name := range minij.IdentsIn(e) {
+		if roots[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// RunMutation regenerates the DESIGN.md mutation sweep: for every
+// guard-weakening mutant of every head, does (a) replaying the full suite
+// or (b) LISA's semantic assertion detect the synthetic regression?
+func RunMutation(c *ticket.Corpus) string {
+	t := &report.Table{
+		Title:   "Guard-weakening mutation sweep over every head",
+		Headers: []string{"case", "mutants", "caught by tests", "caught by LISA", "caught by both"},
+	}
+	var totalMut, totalTests, totalLisa int
+	for _, cs := range c.Cases {
+		e := core.New()
+		baselineRules := 0
+		for _, tk := range cs.Tickets {
+			if rep, err := e.ProcessTicket(tk); err == nil {
+				baselineRules += len(rep.Registered)
+			}
+		}
+		if baselineRules == 0 {
+			continue
+		}
+		// Relevant roots: slot names across registered state rules.
+		roots := map[string]bool{}
+		for _, sem := range e.Registry.All() {
+			for slot := range sem.Target.Bind {
+				roots[slot] = true
+			}
+		}
+		baseRep, err := e.Assert(cs.Head(), nil)
+		if err != nil {
+			continue
+		}
+		baseViolations := baseRep.Counts.Violations
+
+		mutants := MutateGuards(cs, roots)
+		caughtTests, caughtLisa, caughtBoth := 0, 0, 0
+		for _, mu := range mutants {
+			byTests := suiteFails(cs, mu.Source)
+			byLisa := false
+			if rep, err := e.Assert(mu.Source, nil); err == nil && rep.Counts.Violations > baseViolations {
+				byLisa = true
+			}
+			if byTests {
+				caughtTests++
+			}
+			if byLisa {
+				caughtLisa++
+			}
+			if byTests && byLisa {
+				caughtBoth++
+			}
+		}
+		totalMut += len(mutants)
+		totalTests += caughtTests
+		totalLisa += caughtLisa
+		t.AddRow(cs.ID, len(mutants), caughtTests, caughtLisa, caughtBoth)
+	}
+	t.AddNote("%d/%d mutants caught by semantic assertion vs %d/%d by replaying the full suite — tests catch a weakened guard only when a regression test pins that exact scenario.",
+		totalLisa, totalMut, totalTests, totalMut)
+	return t.Render()
+}
+
+// suiteFails replays the case's suite on a source, reporting whether any
+// test fails.
+func suiteFails(cs *ticket.Case, source string) bool {
+	for _, tc := range cs.Tests {
+		prog, err := compileQuiet(source + "\n" + tc.Source)
+		if err != nil {
+			continue
+		}
+		in := interp.New(prog)
+		if _, err := in.CallStatic(tc.Class, tc.Method); err != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package infer
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lisa/internal/contract"
+	"lisa/internal/smt"
+	"lisa/internal/ticket"
+)
+
+// StochasticInferencer simulates the two LLM failure modes called out in
+// §5: non-determinism (different runs yield different rule sets) and
+// hallucination (plausible-sounding but incorrect rules). It wraps a base
+// inferencer and perturbs its output under a seeded random source, so the
+// reliability experiment can sweep noise rates reproducibly.
+type StochasticInferencer struct {
+	Base Inferencer
+	Seed int64
+	// DropRate is the probability of omitting a correctly inferred
+	// semantic (non-determinism: a run that fails to surface a rule).
+	DropRate float64
+	// MutateRate is the probability of corrupting a semantic's condition
+	// (hallucinated detail on a real rule: a flipped polarity).
+	MutateRate float64
+	// HallucinateRate is the probability of adding a fabricated extra
+	// conjunct over a nonexistent state predicate to a real rule.
+	HallucinateRate float64
+}
+
+// Infer implements Inferencer.
+func (si *StochasticInferencer) Infer(tk *ticket.Ticket) (*Result, error) {
+	res, err := si.Base.Infer(tk)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(si.Seed ^ int64(hashString(tk.ID))))
+	out := &Result{Ticket: res.Ticket, HighLevel: res.HighLevel, Reasoning: res.Reasoning}
+	for _, sem := range res.Semantics {
+		switch {
+		case rng.Float64() < si.DropRate:
+			out.Reasoning = append(out.Reasoning, fmt.Sprintf("(simulated nondeterminism) dropped %s", sem.ID))
+		case sem.Kind == contract.StateKind && rng.Float64() < si.MutateRate:
+			out.Semantics = append(out.Semantics, mutateSemantic(sem, rng))
+			out.Reasoning = append(out.Reasoning, fmt.Sprintf("(simulated hallucination) mutated %s", sem.ID))
+		case sem.Kind == contract.StateKind && rng.Float64() < si.HallucinateRate:
+			out.Semantics = append(out.Semantics, hallucinateSemantic(sem, rng))
+			out.Reasoning = append(out.Reasoning, fmt.Sprintf("(simulated hallucination) fabricated detail on %s", sem.ID))
+		default:
+			out.Semantics = append(out.Semantics, sem)
+		}
+	}
+	return out, nil
+}
+
+// mutateSemantic flips the polarity of one atom of the precondition — a
+// plausible-sounding rule that contradicts actual behavior.
+func mutateSemantic(sem *contract.Semantic, rng *rand.Rand) *contract.Semantic {
+	atoms := smt.Atoms(sem.Pre)
+	if len(atoms) == 0 {
+		return sem
+	}
+	victim := atoms[rng.Intn(len(atoms))]
+	victimKey, _ := victim.Key()
+	flipped := flipAtom(sem.Pre, victimKey)
+	cp := *sem
+	cp.ID = sem.ID + "-mutated"
+	cp.Pre = flipped
+	cp.Description = sem.Description + " (mutated)"
+	return &cp
+}
+
+// flipAtom negates every occurrence of the atom with the given key.
+func flipAtom(f smt.Formula, key string) smt.Formula {
+	switch n := f.(type) {
+	case *smt.AtomF:
+		if k, _ := n.Atom.Key(); k == key {
+			return smt.NNF(smt.NewNot(n))
+		}
+		return n
+	case *smt.Not:
+		if a, ok := n.X.(*smt.AtomF); ok {
+			if k, _ := a.Atom.Key(); k == key {
+				return a
+			}
+		}
+		return smt.NewNot(flipAtom(n.X, key))
+	case *smt.And:
+		xs := make([]smt.Formula, len(n.Xs))
+		for i, x := range n.Xs {
+			xs[i] = flipAtom(x, key)
+		}
+		return smt.NewAnd(xs...)
+	case *smt.Or:
+		xs := make([]smt.Formula, len(n.Xs))
+		for i, x := range n.Xs {
+			xs[i] = flipAtom(x, key)
+		}
+		return smt.NewOr(xs...)
+	}
+	return f
+}
+
+// hallucinateSemantic strengthens the rule with a conjunct over a state
+// predicate that does not exist in the system — checks for it can never be
+// found on any path, so every path looks like a violation.
+func hallucinateSemantic(sem *contract.Semantic, rng *rand.Rand) *contract.Semantic {
+	var slot string
+	for s := range sem.Target.Bind {
+		slot = s
+		break
+	}
+	if slot == "" {
+		return sem
+	}
+	phantoms := []string{"phantomFlag", "shadowState", "ghostGuard", "specterBit"}
+	phantom := phantoms[rng.Intn(len(phantoms))]
+	cp := *sem
+	cp.ID = sem.ID + "-hallucinated"
+	cp.Pre = smt.NewAnd(sem.Pre, smt.NewAtom(smt.BoolAtom(slot+"."+phantom)))
+	cp.Description = sem.Description + fmt.Sprintf(" (plus fabricated %s.%s)", slot, phantom)
+	return &cp
+}
+
+// hashString is a small FNV-1a for seed mixing.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// IsPerturbed reports whether a semantic ID carries a simulated-noise
+// marker (used by the reliability experiment's ground truth).
+func IsPerturbed(id string) bool {
+	return strings.HasSuffix(id, "-mutated") || strings.HasSuffix(id, "-hallucinated")
+}

@@ -1,0 +1,385 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lisa/internal/minij"
+)
+
+func TestNestedTryCatch(t *testing.T) {
+	src := `
+class M {
+	static string play() {
+		string trace = "";
+		try {
+			try {
+				throw "inner";
+			} catch (e) {
+				trace = trace + "caught-" + e + ";";
+				throw "outer";
+			}
+		} catch (e) {
+			trace = trace + "caught-" + e;
+		}
+		return trace;
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Str("caught-inner;caught-outer") {
+		t.Errorf("trace = %v", v)
+	}
+}
+
+func TestThrowInsideLoopCaughtOutside(t *testing.T) {
+	src := `
+class M {
+	static int play() {
+		int n = 0;
+		try {
+			while (true) {
+				n = n + 1;
+				if (n == 5) {
+					throw "stop";
+				}
+			}
+		} catch (e) {
+			return n;
+		}
+		return -1;
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Int(5) {
+		t.Errorf("n = %v", v)
+	}
+}
+
+func TestForEachSnapshotsElements(t *testing.T) {
+	// Mutating the list during iteration must not affect the snapshot.
+	src := `
+class M {
+	static int play() {
+		list xs = newList();
+		xs.add(1);
+		xs.add(2);
+		int seen = 0;
+		for (x in xs) {
+			seen = seen + 1;
+			xs.add(99);
+		}
+		return seen;
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Int(2) {
+		t.Errorf("seen = %v, want 2 (snapshot semantics)", v)
+	}
+}
+
+func TestShadowingScopes(t *testing.T) {
+	src := `
+class M {
+	static int play() {
+		int x = 1;
+		if (x == 1) {
+			int y = 10;
+			x = x + y;
+		}
+		for (int i = 0; i < 2; i = i + 1) {
+			int y = 100;
+			x = x + y;
+		}
+		return x;
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Int(211) {
+		t.Errorf("x = %v, want 211", v)
+	}
+}
+
+func TestFieldShadowedByLocal(t *testing.T) {
+	src := `
+class C {
+	int n;
+
+	int both() {
+		n = 5;
+		int n = 10;
+		return n;
+	}
+
+	int fieldValue() {
+		return n;
+	}
+}
+
+class M {
+	static int play() {
+		C c = new C();
+		int local = c.both();
+		return local * 100 + c.fieldValue();
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Int(1005) {
+		t.Errorf("got %v, want 1005 (local 10, field 5)", v)
+	}
+}
+
+func TestObjectAsMapKey(t *testing.T) {
+	src := `
+class Node {
+	string id;
+}
+
+class M {
+	static bool play() {
+		map owners = newMap();
+		Node a = new Node();
+		a.id = "same";
+		Node b = new Node();
+		b.id = "same";
+		owners.put(a, "first");
+		owners.put(b, "second");
+		return owners.size() == 2 && owners.get(a) == "first" && owners.get(b) == "second";
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Bool(true) {
+		t.Error("object keys must use identity")
+	}
+}
+
+func TestReferenceSemantics(t *testing.T) {
+	src := `
+class Box {
+	int v;
+}
+
+class M {
+	static int play() {
+		Box a = new Box();
+		Box b = a;
+		b.v = 42;
+		list xs = newList();
+		xs.add(a);
+		Box c = xs.get(0);
+		c.v = c.v + 1;
+		return a.v;
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Int(43) {
+		t.Errorf("a.v = %v, want 43 (aliasing through locals and lists)", v)
+	}
+}
+
+func TestVoidMethodReturnsNull(t *testing.T) {
+	src := `
+class M {
+	static void noop() {
+	}
+}
+`
+	prog := compile(t, src)
+	in := New(prog)
+	v, err := in.CallStatic("M", "noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsNull(v) {
+		t.Errorf("void return = %v", v)
+	}
+}
+
+func TestFallOffNonVoidYieldsZero(t *testing.T) {
+	src := `
+class M {
+	static int partial(bool b) {
+		if (b) {
+			return 7;
+		}
+	}
+}
+`
+	prog := compile(t, src)
+	in := New(prog)
+	v, err := in.CallStatic("M", "partial", Bool(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Int(0) {
+		t.Errorf("fall-off value = %v, want 0", v)
+	}
+}
+
+func TestExceptionUnwindReleasesLocks(t *testing.T) {
+	src := `
+class M {
+	static void play(list l) {
+		try {
+			synchronized (l) {
+				throw "boom";
+			}
+		} catch (e) {
+			log(e);
+		}
+	}
+}
+`
+	prog := compile(t, src)
+	in := New(prog)
+	if _, err := in.CallStatic("M", "play", &List{}); err != nil {
+		t.Fatal(err)
+	}
+	if in.LocksHeld() != 0 {
+		t.Errorf("locks held after unwind: %d", in.LocksHeld())
+	}
+}
+
+func TestSynchronizedOnNullThrows(t *testing.T) {
+	src := `
+class M {
+	static string play() {
+		list l = null;
+		try {
+			synchronized (l) {
+				log("inside");
+			}
+		} catch (e) {
+			return e;
+		}
+		return "no error";
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Str("NullPointerException") {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestForEachOverNullThrows(t *testing.T) {
+	src := `
+class M {
+	static string play() {
+		list l = null;
+		try {
+			for (x in l) {
+				log(x);
+			}
+		} catch (e) {
+			return e;
+		}
+		return "no error";
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Str("NullPointerException") {
+		t.Errorf("got %v", v)
+	}
+}
+
+func TestStringConcatCoercions(t *testing.T) {
+	src := `
+class M {
+	static string play() {
+		return "n=" + 5 + " b=" + true + " nil=" + null;
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Str("n=5 b=true nil=null") {
+		t.Errorf("got %q", v)
+	}
+}
+
+func TestListIndexErrors(t *testing.T) {
+	src := `
+class M {
+	static string play(int idx) {
+		list xs = newList();
+		xs.add(1);
+		try {
+			int v = xs.get(idx);
+			return "ok " + v;
+		} catch (e) {
+			return e;
+		}
+	}
+}
+`
+	if v, _ := run(t, src, "M", "play", Int(0)); v != Str("ok 1") {
+		t.Errorf("in range: %v", v)
+	}
+	if v, _ := run(t, src, "M", "play", Int(5)); v != Str("IndexOutOfBounds") {
+		t.Errorf("out of range: %v", v)
+	}
+	if v, _ := run(t, src, "M", "play", Int(-1)); v != Str("IndexOutOfBounds") {
+		t.Errorf("negative: %v", v)
+	}
+}
+
+func TestHookOrderBranchBeforeNestedStmt(t *testing.T) {
+	src := `
+class M {
+	static void play(bool p) {
+		if (p) {
+			log("then");
+		}
+	}
+}
+`
+	prog := compile(t, src)
+	in := New(prog)
+	var events []string
+	in.Hooks.OnStmt = func(s minij.Stmt, fr *Frame) {
+		events = append(events, "stmt:"+minij.CanonStmt(s))
+	}
+	in.Hooks.OnBranch = func(s minij.Stmt, cond minij.Expr, taken bool, fr *Frame) {
+		events = append(events, "branch")
+	}
+	if _, err := in.CallStatic("M", "play", Bool(true)); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(events, "|")
+	// The branch event must come after the if's OnStmt but before the
+	// then-body statement.
+	want := "stmt:if (p)|branch|stmt:log(\"then\");"
+	if joined != want {
+		t.Errorf("event order = %q, want %q", joined, want)
+	}
+}
+
+func TestStepBudgetCountsNestedCalls(t *testing.T) {
+	src := `
+class M {
+	static int fib(int n) {
+		if (n < 2) {
+			return n;
+		}
+		return fib(n - 1) + fib(n - 2);
+	}
+}
+`
+	prog := compile(t, src)
+	in := NewWithOptions(prog, Options{StepBudget: 100})
+	_, err := in.CallStatic("M", "fib", Int(30))
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	if in.Steps() < 100 {
+		t.Errorf("steps = %d", in.Steps())
+	}
+}

@@ -1,0 +1,545 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lisa/internal/minij"
+)
+
+func compile(t *testing.T, src string) *minij.Program {
+	t.Helper()
+	prog, err := minij.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := minij.Check(prog); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return prog
+}
+
+func run(t *testing.T, src, class, method string, args ...Value) (Value, *Interp) {
+	t.Helper()
+	prog := compile(t, src)
+	in := New(prog)
+	v, err := in.CallStatic(class, method, args...)
+	if err != nil {
+		t.Fatalf("CallStatic(%s.%s): %v", class, method, err)
+	}
+	return v, in
+}
+
+func TestArithmeticAndLogic(t *testing.T) {
+	src := `
+class M {
+	static int compute(int a, int b) {
+		int x = a * 3 + b % 4 - 2;
+		if (x > 10 && b != 0) {
+			return x / b;
+		}
+		return -x;
+	}
+}
+`
+	v, _ := run(t, src, "M", "compute", Int(5), Int(6))
+	// x = 15 + 2 - 2 = 15; 15 > 10 && 6 != 0 -> 15/6 = 2
+	if v != Int(2) {
+		t.Errorf("compute(5,6) = %v, want 2", v)
+	}
+	v2, _ := run(t, src, "M", "compute", Int(1), Int(0))
+	// x = 3 + 0 - 2 = 1; condition false -> -1
+	if v2 != Int(-1) {
+		t.Errorf("compute(1,0) = %v, want -1", v2)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	src := `
+class M {
+	static bool safe(list xs) {
+		return xs != null && xs.size() > 0;
+	}
+}
+`
+	v, _ := run(t, src, "M", "safe", Null{})
+	if v != Bool(false) {
+		t.Errorf("safe(null) = %v, want false (short-circuit must skip xs.size())", v)
+	}
+	v2, _ := run(t, src, "M", "safe", &List{Elems: []Value{Int(1)}})
+	if v2 != Bool(true) {
+		t.Errorf("safe([1]) = %v, want true", v2)
+	}
+}
+
+func TestObjectsAndMethods(t *testing.T) {
+	src := `
+class Counter {
+	int n;
+
+	void inc() {
+		n = n + 1;
+	}
+
+	int get() {
+		return n;
+	}
+}
+
+class M {
+	static int play() {
+		Counter c = new Counter();
+		c.inc();
+		c.inc();
+		c.inc();
+		return c.get();
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Int(3) {
+		t.Errorf("play() = %v, want 3", v)
+	}
+}
+
+func TestInitConstructor(t *testing.T) {
+	src := `
+class Point {
+	int x;
+	int y;
+
+	void init(int px, int py) {
+		x = px;
+		y = py;
+	}
+
+	int sum() {
+		return x + y;
+	}
+}
+
+class M {
+	static int play() {
+		Point p = new Point(3, 4);
+		return p.sum();
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Int(7) {
+		t.Errorf("play() = %v, want 7", v)
+	}
+}
+
+func TestListOperations(t *testing.T) {
+	src := `
+class M {
+	static int play() {
+		list xs = newList();
+		for (int i = 0; i < 5; i = i + 1) {
+			xs.add(i * i);
+		}
+		xs.remove(4);
+		int total = 0;
+		for (x in xs) {
+			total = total + x;
+		}
+		if (xs.contains(9) && !xs.isEmpty()) {
+			total = total + 100;
+		}
+		return total;
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	// squares 0,1,4,9,16; remove 4 -> 0,1,9,16 sum 26; contains 9 -> +100
+	if v != Int(126) {
+		t.Errorf("play() = %v, want 126", v)
+	}
+}
+
+func TestMapOperations(t *testing.T) {
+	src := `
+class M {
+	static string play() {
+		map m = newMap();
+		m.put("a", 1);
+		m.put("b", 2);
+		m.put("a", 3);
+		if (m.size() != 2) {
+			return "bad size";
+		}
+		m.remove("b");
+		if (m.has("b")) {
+			return "remove failed";
+		}
+		list ks = m.keys();
+		return str(ks.get(0)) + "=" + str(m.get("a"));
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Str("a=3") {
+		t.Errorf("play() = %v, want a=3", v)
+	}
+}
+
+func TestExceptionsAndTryCatch(t *testing.T) {
+	src := `
+class Helper {
+	string name() {
+		return "helper";
+	}
+}
+
+class M {
+	static string play(int mode) {
+		try {
+			if (mode == 0) {
+				throw "custom";
+			}
+			if (mode == 1) {
+				int x = 1 / 0;
+			}
+			if (mode == 2) {
+				Helper nothing = null;
+				return nothing.name();
+			}
+			return "none";
+		} catch (e) {
+			return "caught " + e;
+		}
+	}
+}
+`
+	cases := map[int]string{
+		0: "caught custom",
+		1: "caught ArithmeticException",
+		2: "caught NullPointerException",
+		3: "none",
+	}
+	for mode, want := range cases {
+		v, _ := run(t, src, "M", "play", Int(mode))
+		if v != Str(want) {
+			t.Errorf("play(%d) = %v, want %q", mode, v, want)
+		}
+	}
+}
+
+func TestUncaughtException(t *testing.T) {
+	src := `
+class M {
+	static void boom() {
+		throw "KeeperException";
+	}
+}
+`
+	prog := compile(t, src)
+	in := New(prog)
+	_, err := in.CallStatic("M", "boom")
+	var ue *UncaughtError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want UncaughtError", err)
+	}
+	if ue.Exc.Value != "KeeperException" {
+		t.Errorf("exception = %q, want KeeperException", ue.Exc.Value)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	src := `
+class M {
+	static int play() {
+		int i = 0;
+		int total = 0;
+		while (true) {
+			i = i + 1;
+			if (i > 10) {
+				break;
+			}
+			if (i % 2 == 0) {
+				continue;
+			}
+			total = total + i;
+		}
+		return total;
+	}
+}
+`
+	v, _ := run(t, src, "M", "play")
+	if v != Int(25) { // 1+3+5+7+9
+		t.Errorf("play() = %v, want 25", v)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	src := `
+class M {
+	static void spin() {
+		while (true) {
+			int x = 1;
+		}
+	}
+}
+`
+	prog := compile(t, src)
+	in := NewWithOptions(prog, Options{StepBudget: 1000})
+	_, err := in.CallStatic("M", "spin")
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	src := `
+class M {
+	static int down(int n) {
+		return down(n + 1);
+	}
+}
+`
+	prog := compile(t, src)
+	in := NewWithOptions(prog, Options{MaxDepth: 50})
+	_, err := in.CallStatic("M", "down", Int(0))
+	if !errors.Is(err, ErrStackDepth) {
+		t.Fatalf("err = %v, want ErrStackDepth", err)
+	}
+}
+
+func TestClockAndSleep(t *testing.T) {
+	src := `
+class M {
+	static int play() {
+		int t0 = now();
+		sleep(50);
+		return now() - t0;
+	}
+}
+`
+	prog := compile(t, src)
+	in := NewWithOptions(prog, Options{Clock: 1000})
+	v, err := in.CallStatic("M", "play")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Int(50) {
+		t.Errorf("elapsed = %v, want 50", v)
+	}
+}
+
+func TestSynchronizedTracksLocks(t *testing.T) {
+	src := `
+class Store {
+	map data;
+
+	void init() {
+		data = newMap();
+	}
+
+	void save() {
+		synchronized (data) {
+			ioWrite("snapshot", data.size());
+			synchronized (data) {
+				ioFlush();
+			}
+		}
+		ioWrite("after", 0);
+	}
+}
+
+class M {
+	static void play() {
+		Store s = new Store();
+		s.save();
+	}
+}
+`
+	prog := compile(t, src)
+	in := New(prog)
+	var depths []int
+	in.Hooks.OnBuiltin = func(ev IOEvent) {
+		if ev.Blocking {
+			depths = append(depths, ev.LocksHeld)
+		}
+	}
+	if _, err := in.CallStatic("M", "play"); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0}
+	if len(depths) != len(want) {
+		t.Fatalf("depths = %v, want %v", depths, want)
+	}
+	for i := range want {
+		if depths[i] != want[i] {
+			t.Errorf("blocking call %d at lock depth %d, want %d", i, depths[i], want[i])
+		}
+	}
+	if in.LocksHeld() != 0 {
+		t.Errorf("locks leaked: %d", in.LocksHeld())
+	}
+}
+
+func TestBranchHook(t *testing.T) {
+	src := `
+class M {
+	static int play(int x) {
+		if (x > 10) {
+			return 1;
+		}
+		return 0;
+	}
+}
+`
+	prog := compile(t, src)
+	in := New(prog)
+	var conds []string
+	var takens []bool
+	in.Hooks.OnBranch = func(s minij.Stmt, cond minij.Expr, taken bool, fr *Frame) {
+		conds = append(conds, minij.CanonExpr(cond))
+		takens = append(takens, taken)
+	}
+	if _, err := in.CallStatic("M", "play", Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	if len(conds) != 1 || conds[0] != "x > 10" || !takens[0] {
+		t.Errorf("branch hook saw %v %v, want [x > 10] [true]", conds, takens)
+	}
+}
+
+func TestLogAndFiles(t *testing.T) {
+	src := `
+class M {
+	static string play() {
+		log("hello " + str(1 + 1));
+		ioWrite("f", 99);
+		return ioRead("f");
+	}
+}
+`
+	prog := compile(t, src)
+	in := New(prog)
+	v, err := in.CallStatic("M", "play")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Str("99") {
+		t.Errorf("ioRead = %v, want 99", v)
+	}
+	if len(in.Log) != 1 || in.Log[0] != "hello 2" {
+		t.Errorf("log = %v", in.Log)
+	}
+}
+
+func TestAssertBuiltins(t *testing.T) {
+	src := `
+class M {
+	static void good() {
+		assertTrue(1 < 2, "math works");
+	}
+	static void bad() {
+		assertTrue(2 < 1, "math broke");
+	}
+	static void dead() {
+		abort("fatal");
+	}
+}
+`
+	prog := compile(t, src)
+	in := New(prog)
+	if _, err := in.CallStatic("M", "good"); err != nil {
+		t.Errorf("good: %v", err)
+	}
+	_, err := in.CallStatic("M", "bad")
+	if err == nil || !strings.Contains(err.Error(), "AssertionError: math broke") {
+		t.Errorf("bad: err = %v, want AssertionError", err)
+	}
+	_, err = in.CallStatic("M", "dead")
+	if err == nil || !strings.Contains(err.Error(), "Abort: fatal") {
+		t.Errorf("dead: err = %v, want Abort", err)
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	src := `
+class M {
+	static bool play(string s) {
+		return strContains(s, "eph") && len(s) > 5 && min(3, 9) == 3 && max(3, 9) == 9;
+	}
+}
+`
+	v, _ := run(t, src, "M", "play", Str("ephemeral"))
+	if v != Bool(true) {
+		t.Errorf("play = %v, want true", v)
+	}
+}
+
+// Property: Equal is reflexive and symmetric over primitive values.
+func TestEqualProperties(t *testing.T) {
+	refl := func(i int64, s string, b bool) bool {
+		return Equal(Int(i), Int(i)) && Equal(Str(s), Str(s)) &&
+			Equal(Bool(b), Bool(b)) && Equal(Null{}, Null{})
+	}
+	if err := quick.Check(refl, nil); err != nil {
+		t.Error(err)
+	}
+	sym := func(a, b int64) bool {
+		return Equal(Int(a), Int(b)) == Equal(Int(b), Int(a))
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	if Equal(Int(0), Bool(false)) || Equal(Str(""), Null{}) || Equal(Int(0), Null{}) {
+		t.Error("cross-kind equality must be false")
+	}
+}
+
+// Property: map Put/Get/Remove behave like a Go map with insertion order.
+func TestMapProperties(t *testing.T) {
+	f := func(keys []int64) bool {
+		m := NewMap()
+		ref := map[int64]int64{}
+		var order []int64
+		for i, k := range keys {
+			if _, dup := ref[k]; !dup {
+				order = append(order, k)
+			}
+			ref[k] = int64(i)
+			m.Put(Int(k), Int(i))
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		got := m.Keys()
+		if len(got) != len(order) {
+			return false
+		}
+		for i, k := range order {
+			if got[i] != Int(k) {
+				return false
+			}
+			if m.Get(Int(k)) != Int(ref[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatValues(t *testing.T) {
+	obj := &Object{Class: &minij.Class{Name: "Session"}, Fields: map[string]Value{
+		"closing": Bool(false), "ttl": Int(30),
+	}}
+	got := Format(obj)
+	if got != "Session{closing=false, ttl=30}" {
+		t.Errorf("Format(obj) = %q", got)
+	}
+	l := &List{Elems: []Value{Int(1), Str("x"), Null{}}}
+	if Format(l) != "[1, x, null]" {
+		t.Errorf("Format(list) = %q", Format(l))
+	}
+}

@@ -1,0 +1,249 @@
+// Package interp implements a deterministic concrete interpreter for MiniJ
+// programs. It is the execution substrate for both plain test replay and the
+// concolic engine: every branch decision, statement execution, method call,
+// and builtin invocation can be observed through Hooks.
+//
+// The interpreter is single-threaded by design. The paper's checking is
+// path-based rather than schedule-based, so concurrency-triggered states
+// (e.g. "the session transitioned to CLOSING between the check and the use")
+// are modeled explicitly as reachable program states driven by test inputs.
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lisa/internal/minij"
+)
+
+// Value is a MiniJ runtime value. The dynamic types are:
+//
+//	Int, Bool, Str, Null — immutable primitives
+//	*Object, *List, *Map — heap references compared by identity
+//
+// All of them are comparable, so a Value can key a Go map directly.
+type Value interface{ valueKind() string }
+
+// Int is a MiniJ integer.
+type Int int64
+
+// Bool is a MiniJ boolean.
+type Bool bool
+
+// Str is a MiniJ string.
+type Str string
+
+// Null is the MiniJ null reference.
+type Null struct{}
+
+func (Int) valueKind() string  { return "int" }
+func (Bool) valueKind() string { return "bool" }
+func (Str) valueKind() string  { return "string" }
+func (Null) valueKind() string { return "null" }
+
+// Object is a class instance with named fields.
+type Object struct {
+	Class  *minij.Class
+	Fields map[string]Value
+}
+
+func (*Object) valueKind() string { return "object" }
+
+// List is a MiniJ list.
+type List struct {
+	Elems []Value
+}
+
+func (*List) valueKind() string { return "list" }
+
+// Map is a MiniJ map with deterministic (insertion-ordered) iteration.
+type Map struct {
+	entries map[Value]Value
+	order   []Value
+}
+
+func (*Map) valueKind() string { return "map" }
+
+// NewMap returns an empty map value.
+func NewMap() *Map {
+	return &Map{entries: map[Value]Value{}}
+}
+
+// Put inserts or replaces the entry for k.
+func (m *Map) Put(k, v Value) {
+	if _, ok := m.entries[k]; !ok {
+		m.order = append(m.order, k)
+	}
+	m.entries[k] = v
+}
+
+// Get returns the value for k, or Null if absent.
+func (m *Map) Get(k Value) Value {
+	if v, ok := m.entries[k]; ok {
+		return v
+	}
+	return Null{}
+}
+
+// Has reports whether k is present.
+func (m *Map) Has(k Value) bool {
+	_, ok := m.entries[k]
+	return ok
+}
+
+// Remove deletes k, returning the removed value or Null.
+func (m *Map) Remove(k Value) Value {
+	v, ok := m.entries[k]
+	if !ok {
+		return Null{}
+	}
+	delete(m.entries, k)
+	for i, kk := range m.order {
+		if kk == k {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return v
+}
+
+// Len returns the number of entries.
+func (m *Map) Len() int { return len(m.entries) }
+
+// Keys returns the keys in insertion order.
+func (m *Map) Keys() []Value {
+	out := make([]Value, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Clear removes all entries.
+func (m *Map) Clear() {
+	m.entries = map[Value]Value{}
+	m.order = nil
+}
+
+// IsNull reports whether v is the null value.
+func IsNull(v Value) bool {
+	_, ok := v.(Null)
+	return ok
+}
+
+// Truthy converts a Value used as a condition, reporting an error for
+// non-bool values.
+func Truthy(v Value) (bool, bool) {
+	b, ok := v.(Bool)
+	return bool(b), ok
+}
+
+// Equal implements MiniJ ==: value equality for primitives and strings,
+// reference identity for objects, lists, and maps. Null equals only null.
+func Equal(a, b Value) bool {
+	switch x := a.(type) {
+	case Int:
+		y, ok := b.(Int)
+		return ok && x == y
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Null:
+		return IsNull(b)
+	default:
+		return a == b
+	}
+}
+
+// Format renders a value for logging and the str() builtin.
+func Format(v Value) string {
+	switch x := v.(type) {
+	case Int:
+		return strconv.FormatInt(int64(x), 10)
+	case Bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case Str:
+		return string(x)
+	case Null:
+		return "null"
+	case *Object:
+		var sb strings.Builder
+		sb.WriteString(x.Class.Name)
+		sb.WriteByte('{')
+		names := make([]string, 0, len(x.Fields))
+		for n := range x.Fields {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for i, n := range names {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(n)
+			sb.WriteByte('=')
+			sb.WriteString(formatShallow(x.Fields[n]))
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	case *List:
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, e := range x.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(formatShallow(e))
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	case *Map:
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for i, k := range x.order {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(formatShallow(k))
+			sb.WriteString(": ")
+			sb.WriteString(formatShallow(x.entries[k]))
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	}
+	return fmt.Sprintf("<?%T>", v)
+}
+
+// formatShallow avoids unbounded recursion through cyclic heaps.
+func formatShallow(v Value) string {
+	switch x := v.(type) {
+	case *Object:
+		return x.Class.Name + "{...}"
+	case *List:
+		return fmt.Sprintf("list(%d)", len(x.Elems))
+	case *Map:
+		return fmt.Sprintf("map(%d)", x.Len())
+	default:
+		return Format(v)
+	}
+}
+
+// ZeroOf returns the zero value for a declared type: 0, false, "" for
+// primitives and null for references.
+func ZeroOf(t minij.Type) Value {
+	switch t.Kind {
+	case minij.TypeInt:
+		return Int(0)
+	case minij.TypeBool:
+		return Bool(false)
+	case minij.TypeString:
+		return Str("")
+	default:
+		return Null{}
+	}
+}

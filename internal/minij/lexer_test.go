@@ -1,0 +1,127 @@
+package minij
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex(`class Foo { int x; }`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "class"}, {TokIdent, "Foo"}, {TokPunct, "{"},
+		{TokKeyword, "int"}, {TokIdent, "x"}, {TokPunct, ";"},
+		{TokPunct, "}"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`== != <= >= && || < > + - * / % ! =`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	wantOps := []string{"==", "!=", "<=", ">=", "&&", "||", "<", ">", "+", "-", "*", "/", "%", "!", "="}
+	for i, op := range wantOps {
+		if toks[i].Kind != TokOp || toks[i].Text != op {
+			t.Errorf("token %d = %q, want operator %q", i, toks[i].Text, op)
+		}
+	}
+}
+
+func TestLexIntLiteral(t *testing.T) {
+	toks, err := Lex("12345")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Kind != TokInt || toks[0].Int != 12345 {
+		t.Errorf("got %+v, want int 12345", toks[0])
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`"a\nb\t\"c\\"`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if got, want := toks[0].Text, "a\nb\t\"c\\"; got != want {
+		t.Errorf("string = %q, want %q", got, want)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment
+class /* block
+comment */ A { }
+`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Text != "class" || toks[1].Text != "A" {
+		t.Errorf("comments not skipped: %v", toks[:2])
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("bb at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`"unterminated`, "unterminated string"},
+		{`"bad \q escape"`, "unknown escape"},
+		{"/* open", "unterminated block comment"},
+		{"@", "unexpected character"},
+		{"\"line\nbreak\"", "newline in string"},
+	}
+	for _, c := range cases {
+		_, err := Lex(c.src)
+		if err == nil {
+			t.Errorf("Lex(%q): expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Lex(%q) error = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestPosOrdering(t *testing.T) {
+	a, b := Pos{1, 5}, Pos{2, 1}
+	if !a.Before(b) || b.Before(a) {
+		t.Error("line ordering broken")
+	}
+	c, d := Pos{3, 2}, Pos{3, 9}
+	if !c.Before(d) || d.Before(c) {
+		t.Error("column ordering broken")
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos should be invalid")
+	}
+}

@@ -1,0 +1,105 @@
+package minij
+
+import (
+	"strings"
+	"testing"
+)
+
+// MiniJ merges repeated declarations of the same class (open classes), so
+// independently authored test files can contribute methods to one shared
+// test class.
+func TestOpenClassMerging(t *testing.T) {
+	src := `
+class Suite {
+	static int one() {
+		return 1;
+	}
+}
+
+class Other {
+	int x;
+}
+
+class Suite {
+	static int two() {
+		return 2;
+	}
+}
+`
+	prog := mustParseAndCheck(t, src)
+	if len(prog.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2 after merging", len(prog.Classes))
+	}
+	suite := prog.Class("Suite")
+	if suite.Method("one") == nil || suite.Method("two") == nil {
+		t.Error("merged class lost a method")
+	}
+	if m := suite.Method("two"); m.Class != suite {
+		t.Error("merged method's Class pointer not rebased")
+	}
+	// Statement IDs must remain dense across merged classes.
+	n := prog.NumStmts()
+	for id := 0; id < n; id++ {
+		if prog.StmtByID(id) == nil || prog.MethodOf(id) == nil {
+			t.Fatalf("stmt %d unindexed after merge", id)
+		}
+	}
+}
+
+func TestDuplicateMembersRejected(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`class A { int x; } class A { int x; }`, "duplicate field A.x"},
+		{`class A { void m() { } void m() { } }`, "duplicate method A.m"},
+		{`class A { void m() { } } class A { void m() { } }`, "duplicate method A.m"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestMergePreservesCrossClassCalls(t *testing.T) {
+	src := `
+class Sys {
+	static int val() {
+		return 7;
+	}
+}
+
+class Suite {
+	static int a() {
+		return Sys.val();
+	}
+}
+
+class Suite {
+	static int b() {
+		return a() + 1;
+	}
+}
+`
+	prog := mustParseAndCheck(t, src)
+	b := prog.Method("Suite", "b")
+	if b == nil {
+		t.Fatal("Suite.b missing")
+	}
+	// The sibling call a() in the second declaration must resolve as
+	// CallSelf against the merged class.
+	found := false
+	WalkExprs(b.Body, func(e Expr) {
+		if c, ok := e.(*Call); ok && c.Name == "a" {
+			found = true
+			if c.Kind != CallSelf {
+				t.Errorf("a() kind = %v, want CallSelf", c.Kind)
+			}
+		}
+	})
+	if !found {
+		t.Error("call to a() not found")
+	}
+}

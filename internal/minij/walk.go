@@ -1,0 +1,125 @@
+package minij
+
+// WalkStmts visits s and every statement nested within it, in source order,
+// calling fn on each. Nil statements are skipped.
+func WalkStmts(s Stmt, fn func(Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch n := s.(type) {
+	case *Block:
+		for _, st := range n.Stmts {
+			WalkStmts(st, fn)
+		}
+	case *If:
+		WalkStmts(n.Then, fn)
+		WalkStmts(n.Else, fn)
+	case *While:
+		WalkStmts(n.Body, fn)
+	case *For:
+		WalkStmts(n.Init, fn)
+		WalkStmts(n.Post, fn)
+		WalkStmts(n.Body, fn)
+	case *ForEach:
+		WalkStmts(n.Body, fn)
+	case *Try:
+		WalkStmts(n.Body, fn)
+		WalkStmts(n.Catch, fn)
+	case *Sync:
+		WalkStmts(n.Body, fn)
+	}
+}
+
+// WalkExprs visits every expression contained in statement s (including
+// nested statements' expressions), calling fn on each expression node and
+// its subexpressions in evaluation order.
+func WalkExprs(s Stmt, fn func(Expr)) {
+	WalkStmts(s, func(st Stmt) {
+		for _, e := range stmtExprs(st) {
+			walkExpr(e, fn)
+		}
+	})
+}
+
+// stmtExprs returns the immediate expressions of a statement (not those of
+// nested statements).
+func stmtExprs(s Stmt) []Expr {
+	switch n := s.(type) {
+	case *VarDecl:
+		if n.Init != nil {
+			return []Expr{n.Init}
+		}
+	case *Assign:
+		return []Expr{n.Target, n.Value}
+	case *If:
+		return []Expr{n.Cond}
+	case *While:
+		return []Expr{n.Cond}
+	case *For:
+		if n.Cond != nil {
+			return []Expr{n.Cond}
+		}
+	case *ForEach:
+		return []Expr{n.Iter}
+	case *Return:
+		if n.Value != nil {
+			return []Expr{n.Value}
+		}
+	case *Throw:
+		return []Expr{n.Value}
+	case *Sync:
+		return []Expr{n.Lock}
+	case *ExprStmt:
+		return []Expr{n.E}
+	}
+	return nil
+}
+
+// walkExpr visits e and its subexpressions.
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case *FieldAccess:
+		walkExpr(n.Recv, fn)
+	case *Call:
+		walkExpr(n.Recv, fn)
+		for _, a := range n.Args {
+			walkExpr(a, fn)
+		}
+	case *New:
+		for _, a := range n.Args {
+			walkExpr(a, fn)
+		}
+	case *Unary:
+		walkExpr(n.X, fn)
+	case *Binary:
+		walkExpr(n.X, fn)
+		walkExpr(n.Y, fn)
+	}
+}
+
+// Calls returns every call expression appearing anywhere in s.
+func Calls(s Stmt) []*Call {
+	var out []*Call
+	WalkExprs(s, func(e Expr) {
+		if c, ok := e.(*Call); ok {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// IdentsIn returns the set of bare identifier names appearing in expression e.
+func IdentsIn(e Expr) map[string]bool {
+	out := map[string]bool{}
+	walkExpr(e, func(x Expr) {
+		if id, ok := x.(*Ident); ok {
+			out[id.Name] = true
+		}
+	})
+	return out
+}

@@ -1,0 +1,94 @@
+// Package report renders experiment results as aligned text tables, the
+// format cmd/lisabench prints for each reproduced figure and table.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(Section(t.Title))
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("  note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Section renders a section heading.
+func Section(title string) string {
+	return fmt.Sprintf("\n== %s ==\n\n", title)
+}
+
+// Bool renders a boolean as a compact glyph column.
+func Bool(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

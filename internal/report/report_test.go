@@ -1,0 +1,47 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Headers: []string{"name", "count"},
+	}
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta-longer", 22)
+	tb.AddRow("pi", 3.14159)
+	tb.AddNote("a footnote with %d items", 3)
+	out := tb.Render()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "name         count") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") || strings.Contains(out, "3.14159") {
+		t.Errorf("float formatting:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a footnote with 3 items") {
+		t.Errorf("missing note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var header, rule string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header, rule = l, lines[i+1]
+			break
+		}
+	}
+	if !strings.HasPrefix(rule, "----") {
+		t.Errorf("missing rule under header %q: %q", header, rule)
+	}
+}
+
+func TestBool(t *testing.T) {
+	if Bool(true) != "yes" || Bool(false) != "no" {
+		t.Error("Bool glyphs wrong")
+	}
+}

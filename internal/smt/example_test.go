@@ -1,0 +1,40 @@
+package smt_test
+
+import (
+	"fmt"
+
+	"lisa/internal/smt"
+)
+
+// The paper's §3.2 worked example: a trace that omits the s.ttl check is
+// satisfiable together with the checker's complement, hence a violation.
+func ExampleComplement() {
+	checker := smt.MustParsePredicate(`s != null && s.isClosing() == false && s.ttl > 0`)
+	comp := smt.Complement(checker)
+	fmt.Println("complement:", comp)
+
+	omitsTTL := smt.MustParsePredicate(`s != null && s.isClosing() == false`)
+	fullGuard := smt.MustParsePredicate(`s != null && s.isClosing() == false && s.ttl > 0`)
+	fmt.Println("omits ttl violates:", smt.SAT(smt.NewAnd(omitsTTL, comp)))
+	fmt.Println("full guard violates:", smt.SAT(smt.NewAnd(fullGuard, comp)))
+	// Output:
+	// complement: s == null || s.isClosing || s.ttl <= 0
+	// omits ttl violates: true
+	// full guard violates: false
+}
+
+func ExampleImplies() {
+	p := smt.MustParsePredicate(`x == 3`)
+	q := smt.MustParsePredicate(`x > 2`)
+	fmt.Println(smt.Implies(p, q), smt.Implies(q, p))
+	// Output: true false
+}
+
+func ExampleParsePredicate() {
+	f, err := smt.ParsePredicate(`lease != null && lease.isValid() && retries < 5`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(f)
+	// Output: lease != null && lease.isValid && retries < 5
+}

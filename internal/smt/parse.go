@@ -1,0 +1,218 @@
+package smt
+
+import (
+	"fmt"
+
+	"lisa/internal/minij"
+)
+
+// ParsePredicate parses the predicate language used for contract conditions
+// (a strict subset of MiniJ expression syntax):
+//
+//	or     := and ("||" and)*
+//	and    := unary ("&&" unary)*
+//	unary  := "!" unary | "(" or ")" | atom | "true" | "false"
+//	atom   := path [op operand]
+//	path   := ident ["()"] ("." ident ["()"])*
+//	operand:= int | "-" int | "null" | "true" | "false" | string | path
+//
+// A nullary getter suffix "()" canonicalizes away: `s.isClosing()` parses to
+// the path "s.isClosing". A bare path is a boolean state predicate.
+func ParsePredicate(src string) (Formula, error) {
+	toks, err := minij.Lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("smt: %w", err)
+	}
+	p := &predParser{toks: toks}
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != minij.TokEOF {
+		return nil, fmt.Errorf("smt: %s: trailing input %s", p.cur().Pos, p.cur())
+	}
+	return f, nil
+}
+
+// MustParsePredicate parses src and panics on error; for declaring contract
+// constants.
+func MustParsePredicate(src string) Formula {
+	f, err := ParsePredicate(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type predParser struct {
+	toks []minij.Token
+	i    int
+}
+
+func (p *predParser) cur() minij.Token  { return p.toks[p.i] }
+func (p *predParser) next() minij.Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *predParser) is(kind minij.TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && t.Text == text
+}
+
+func (p *predParser) accept(kind minij.TokenKind, text string) bool {
+	if p.is(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *predParser) parseOr() (Formula, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	xs := []Formula{x}
+	for p.accept(minij.TokOp, "||") {
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, y)
+	}
+	return NewOr(xs...), nil
+}
+
+func (p *predParser) parseAnd() (Formula, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	xs := []Formula{x}
+	for p.accept(minij.TokOp, "&&") {
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, y)
+	}
+	return NewAnd(xs...), nil
+}
+
+func (p *predParser) parseUnary() (Formula, error) {
+	if p.accept(minij.TokOp, "!") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NewNot(x), nil
+	}
+	if p.accept(minij.TokPunct, "(") {
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(minij.TokPunct, ")") {
+			return nil, fmt.Errorf("smt: %s: expected \")\"", p.cur().Pos)
+		}
+		return x, nil
+	}
+	if p.accept(minij.TokKeyword, "true") {
+		return True(), nil
+	}
+	if p.accept(minij.TokKeyword, "false") {
+		return False(), nil
+	}
+	return p.parseAtom()
+}
+
+// cmpOps maps operator tokens to CmpOp.
+var cmpOps = map[string]CmpOp{
+	"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *predParser) parseAtom() (Formula, error) {
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	op, isCmp := cmpOps[p.cur().Text]
+	if !isCmp || p.cur().Kind != minij.TokOp {
+		return NewAtom(BoolAtom(path)), nil
+	}
+	opPos := p.cur().Pos
+	p.i++
+	t := p.cur()
+	switch {
+	case t.Kind == minij.TokInt:
+		p.i++
+		return NewAtom(CmpCAtom(path, op, t.Int)), nil
+	case t.Kind == minij.TokOp && t.Text == "-":
+		p.i++
+		lit := p.cur()
+		if lit.Kind != minij.TokInt {
+			return nil, fmt.Errorf("smt: %s: expected integer after \"-\"", lit.Pos)
+		}
+		p.i++
+		return NewAtom(CmpCAtom(path, op, -lit.Int)), nil
+	case t.Kind == minij.TokKeyword && t.Text == "null":
+		p.i++
+		switch op {
+		case OpEq:
+			return NewAtom(NullAtom(path)), nil
+		case OpNe:
+			return NewNot(NewAtom(NullAtom(path))), nil
+		}
+		return nil, fmt.Errorf("smt: %s: null supports only == and !=", opPos)
+	case t.Kind == minij.TokKeyword && (t.Text == "true" || t.Text == "false"):
+		p.i++
+		positive := (t.Text == "true") == (op == OpEq)
+		if op != OpEq && op != OpNe {
+			return nil, fmt.Errorf("smt: %s: booleans support only == and !=", opPos)
+		}
+		if positive {
+			return NewAtom(BoolAtom(path)), nil
+		}
+		return NewNot(NewAtom(BoolAtom(path))), nil
+	case t.Kind == minij.TokString:
+		p.i++
+		if op != OpEq && op != OpNe {
+			return nil, fmt.Errorf("smt: %s: strings support only == and !=", opPos)
+		}
+		return NewAtom(StrEqAtom(path, op, t.Text)), nil
+	case t.Kind == minij.TokIdent:
+		path2, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		return NewAtom(CmpVAtom(path, op, path2)), nil
+	}
+	return nil, fmt.Errorf("smt: %s: expected operand, found %s", t.Pos, t)
+}
+
+func (p *predParser) parsePath() (string, error) {
+	t := p.cur()
+	if t.Kind != minij.TokIdent {
+		return "", fmt.Errorf("smt: %s: expected path, found %s", t.Pos, t)
+	}
+	p.i++
+	path := t.Text
+	p.acceptCallSuffix()
+	for p.accept(minij.TokPunct, ".") {
+		seg := p.cur()
+		if seg.Kind != minij.TokIdent {
+			return "", fmt.Errorf("smt: %s: expected identifier after \".\"", seg.Pos)
+		}
+		p.i++
+		path += "." + seg.Text
+		p.acceptCallSuffix()
+	}
+	return path, nil
+}
+
+// acceptCallSuffix consumes a nullary call suffix "()" if present, which
+// canonicalizes getter calls to field-style paths.
+func (p *predParser) acceptCallSuffix() {
+	if p.is(minij.TokPunct, "(") && p.i+1 < len(p.toks) &&
+		p.toks[p.i+1].Kind == minij.TokPunct && p.toks[p.i+1].Text == ")" {
+		p.i += 2
+	}
+}

@@ -1,0 +1,377 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Model assigns a truth value to each atom key that the solver decided.
+type Model map[string]bool
+
+// String renders the model deterministically.
+func (m Model) String() string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, m[k])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ErrBudget is returned when the DPLL search exceeds its node budget.
+var ErrBudget = errors.New("smt: search budget exhausted")
+
+// maxNodes bounds the DPLL search. Corpus formulas have well under twenty
+// atoms, so this is a backstop, not a practical limit.
+const maxNodes = 1 << 20
+
+// Solve decides satisfiability of f, returning a witness model when SAT.
+func Solve(f Formula) (sat bool, model Model, err error) {
+	atoms := Atoms(f)
+	keys := make([]string, len(atoms))
+	byKey := make(map[string]Atom, len(atoms))
+	for i, a := range atoms {
+		k, _ := a.Key()
+		keys[i] = k
+		byKey[k] = a
+	}
+	s := &solver{f: f, keys: keys, byKey: byKey, assign: Model{}}
+	ok, err := s.search(0)
+	if err != nil {
+		return false, nil, err
+	}
+	if !ok {
+		return false, nil, nil
+	}
+	return true, s.witness, nil
+}
+
+// SAT reports whether f is satisfiable, treating budget exhaustion as
+// satisfiable (the safe direction for violation reporting: a too-complex
+// path condition surfaces for developer review rather than being silently
+// declared verified).
+func SAT(f Formula) bool {
+	sat, _, err := Solve(f)
+	if err != nil {
+		return true
+	}
+	return sat
+}
+
+// Implies reports whether p logically entails q (p ⇒ q), i.e. whether
+// p ∧ ¬q is unsatisfiable.
+func Implies(p, q Formula) bool {
+	return !SAT(NewAnd(p, NewNot(q)))
+}
+
+// Equiv reports whether p and q are logically equivalent.
+func Equiv(p, q Formula) bool {
+	return Implies(p, q) && Implies(q, p)
+}
+
+// Valid reports whether f is a tautology.
+func Valid(f Formula) bool { return !SAT(NewNot(f)) }
+
+type solver struct {
+	f       Formula
+	keys    []string
+	byKey   map[string]Atom
+	assign  Model
+	witness Model
+	nodes   int
+}
+
+// search assigns atoms keys[i:] and reports whether a consistent satisfying
+// assignment exists.
+func (s *solver) search(i int) (bool, error) {
+	s.nodes++
+	if s.nodes > maxNodes {
+		return false, ErrBudget
+	}
+	switch eval3(s.f, s.assign) {
+	case triFalse:
+		return false, nil
+	case triTrue:
+		if s.theoryConsistent() {
+			s.witness = make(Model, len(s.assign))
+			for k, v := range s.assign {
+				s.witness[k] = v
+			}
+			return true, nil
+		}
+		return false, nil
+	}
+	if i >= len(s.keys) {
+		// All atoms assigned yet value unknown cannot happen; defensive.
+		return false, nil
+	}
+	k := s.keys[i]
+	for _, v := range []bool{true, false} {
+		s.assign[k] = v
+		if s.theoryConsistent() {
+			ok, err := s.search(i + 1)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		delete(s.assign, k)
+	}
+	return false, nil
+}
+
+type tri int
+
+const (
+	triFalse tri = iota
+	triTrue
+	triUnknown
+)
+
+// eval3 evaluates f under a partial assignment with three-valued logic.
+func eval3(f Formula, assign Model) tri {
+	switch n := f.(type) {
+	case *Const:
+		if n.Value {
+			return triTrue
+		}
+		return triFalse
+	case *AtomF:
+		k, neg := n.Atom.Key()
+		v, ok := assign[k]
+		if !ok {
+			return triUnknown
+		}
+		if v != neg {
+			return triTrue
+		}
+		return triFalse
+	case *Not:
+		switch eval3(n.X, assign) {
+		case triTrue:
+			return triFalse
+		case triFalse:
+			return triTrue
+		}
+		return triUnknown
+	case *And:
+		out := triTrue
+		for _, x := range n.Xs {
+			switch eval3(x, assign) {
+			case triFalse:
+				return triFalse
+			case triUnknown:
+				out = triUnknown
+			}
+		}
+		return out
+	case *Or:
+		out := triFalse
+		for _, x := range n.Xs {
+			switch eval3(x, assign) {
+			case triTrue:
+				return triTrue
+			case triUnknown:
+				out = triUnknown
+			}
+		}
+		return out
+	}
+	panic(fmt.Sprintf("smt: unhandled formula %T", f))
+}
+
+// theoryConsistent checks the currently assigned literals against the
+// integer difference-bound theory and the string equality theory.
+func (s *solver) theoryConsistent() bool {
+	dbm := newDBM()
+	strEq := map[string]string{}   // path -> required value
+	strNe := map[string][]string{} // path -> excluded values
+	for k, v := range s.assign {
+		a := s.byKey[k]
+		switch a.Kind {
+		case AtomCmpC:
+			dbm.addCmpC(a, v)
+		case AtomCmpV:
+			dbm.addCmpV(a, v)
+		case AtomStrEq:
+			// Normalized atoms always have OpEq.
+			if v {
+				if prev, ok := strEq[a.Path]; ok && prev != a.StrVal {
+					return false
+				}
+				strEq[a.Path] = a.StrVal
+			} else {
+				strNe[a.Path] = append(strNe[a.Path], a.StrVal)
+			}
+		}
+	}
+	for p, val := range strEq {
+		for _, ex := range strNe[p] {
+			if ex == val {
+				return false
+			}
+		}
+	}
+	return dbm.consistent()
+}
+
+// dbm is a difference-bound matrix over integer paths plus a zero node.
+// Edge u→v with weight c encodes u - v <= c.
+type dbm struct {
+	idx    map[string]int
+	names  []string
+	edges  []dbmEdge
+	diseqC []diseqConst
+	diseqV []diseqPair
+}
+
+type dbmEdge struct {
+	u, v int
+	c    int64
+}
+
+type diseqConst struct {
+	x int
+	c int64
+}
+
+type diseqPair struct{ x, y int }
+
+func newDBM() *dbm {
+	return &dbm{idx: map[string]int{"": 0}, names: []string{""}}
+}
+
+func (d *dbm) node(path string) int {
+	if i, ok := d.idx[path]; ok {
+		return i
+	}
+	i := len(d.names)
+	d.idx[path] = i
+	d.names = append(d.names, path)
+	return i
+}
+
+func (d *dbm) add(u, v int, c int64) {
+	d.edges = append(d.edges, dbmEdge{u: u, v: v, c: c})
+}
+
+// addCmpC encodes a normalized constant comparison (Op in Eq, Le, Lt) with
+// the given truth value.
+func (d *dbm) addCmpC(a Atom, v bool) {
+	x := d.node(a.Path)
+	op := a.Op
+	if !v {
+		op = op.Negate()
+	}
+	switch op {
+	case OpEq:
+		d.add(x, 0, a.IntVal)
+		d.add(0, x, -a.IntVal)
+	case OpNe:
+		d.diseqC = append(d.diseqC, diseqConst{x: x, c: a.IntVal})
+	case OpLe:
+		d.add(x, 0, a.IntVal)
+	case OpLt:
+		d.add(x, 0, a.IntVal-1)
+	case OpGe:
+		d.add(0, x, -a.IntVal)
+	case OpGt:
+		d.add(0, x, -a.IntVal-1)
+	}
+}
+
+// addCmpV encodes a normalized variable comparison with the given truth
+// value.
+func (d *dbm) addCmpV(a Atom, v bool) {
+	x, y := d.node(a.Path), d.node(a.Path2)
+	op := a.Op
+	if !v {
+		op = op.Negate()
+	}
+	switch op {
+	case OpEq:
+		d.add(x, y, 0)
+		d.add(y, x, 0)
+	case OpNe:
+		d.diseqV = append(d.diseqV, diseqPair{x: x, y: y})
+	case OpLe:
+		d.add(x, y, 0)
+	case OpLt:
+		d.add(x, y, -1)
+	case OpGe:
+		d.add(y, x, 0)
+	case OpGt:
+		d.add(y, x, -1)
+	}
+}
+
+const inf = int64(1) << 60
+
+// consistent runs Floyd–Warshall and checks for negative cycles, then
+// verifies disequalities against forced equalities. The disequality pass is
+// complete for forced point values and forced variable equalities; exotic
+// finite-domain disequality chains may be declared consistent (erring
+// toward SAT).
+func (d *dbm) consistent() bool {
+	n := len(d.names)
+	if n == 1 && len(d.diseqC) == 0 && len(d.diseqV) == 0 {
+		return true
+	}
+	dist := make([][]int64, n)
+	for i := range dist {
+		dist[i] = make([]int64, n)
+		for j := range dist[i] {
+			if i == j {
+				dist[i][j] = 0
+			} else {
+				dist[i][j] = inf
+			}
+		}
+	}
+	for _, e := range d.edges {
+		if e.c < dist[e.u][e.v] {
+			dist[e.u][e.v] = e.c
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if dist[i][k] == inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dist[k][j] == inf {
+					continue
+				}
+				if s := dist[i][k] + dist[k][j]; s < dist[i][j] {
+					dist[i][j] = s
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if dist[i][i] < 0 {
+			return false
+		}
+	}
+	for _, dq := range d.diseqC {
+		// x != c conflicts iff bounds force x == c.
+		if dist[dq.x][0] == dq.c && dist[0][dq.x] == -dq.c {
+			return false
+		}
+	}
+	for _, dq := range d.diseqV {
+		// x != y conflicts iff bounds force x == y.
+		if dist[dq.x][dq.y] == 0 && dist[dq.y][dq.x] == 0 {
+			return false
+		}
+	}
+	return true
+}

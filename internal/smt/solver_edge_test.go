@@ -1,0 +1,131 @@
+package smt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestWitnessSatisfiesFormula: any model returned by Solve must make the
+// formula true under three-valued evaluation.
+func TestWitnessSatisfiesFormula(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genFormula(newTestRng(seed), 4)
+		sat, model, err := Solve(g)
+		if err != nil {
+			return true // budget exhaustion is allowed, not a soundness bug
+		}
+		if !sat {
+			return true
+		}
+		return eval3(g, model) == triTrue
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolverDuality: f is valid iff ¬f is unsatisfiable.
+func TestSolverDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genFormula(newTestRng(seed), 3)
+		return Valid(g) == !SAT(NewNot(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestImpliesTransitive: random implication chains must be transitive.
+func TestImpliesTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newTestRng(seed)
+		a := genFormula(r, 2)
+		b := genFormula(r, 2)
+		c := genFormula(r, 2)
+		if Implies(a, b) && Implies(b, c) {
+			return Implies(a, c)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBMEdgeCases(t *testing.T) {
+	cases := []struct {
+		src string
+		sat bool
+	}{
+		// Large constants near the interval arithmetic edges.
+		{`x > 1000000000 && x < 1000000002`, true},
+		{`x > 1000000000 && x < 1000000001`, false},
+		{`x >= -1000000000 && x <= -1000000000 && x != -1000000000`, false},
+		// Chains of variable orderings.
+		{`a < b && b < c && c < d && d < a`, false},
+		{`a < b && b < c && c < d && a < d`, true},
+		{`a <= b && b <= c && c <= a && a != c`, false},
+		// Equality congruence through a chain.
+		{`a == b && b == c && c == d && a != d`, false},
+		{`a == b && b == c && a != d`, true},
+		// Mixed constants and variables.
+		{`a == 5 && b == a && b != 5`, false},
+		{`a == 5 && a < b && b < 7`, true},  // b = 6
+		{`a == 5 && a < b && b < 6`, false}, // no integer between 5 and 6
+		// Same-variable tautologies and contradictions.
+		{`x == x`, true},
+		{`x != x`, false},
+		{`x < x`, false},
+		{`x <= x`, true},
+	}
+	for _, c := range cases {
+		f := mustParse(t, c.src)
+		if got := SAT(f); got != c.sat {
+			t.Errorf("SAT(%q) = %v, want %v", c.src, got, c.sat)
+		}
+	}
+}
+
+func TestMixedSortsIndependent(t *testing.T) {
+	// The same path used as a bool predicate and in int comparisons lives
+	// in separate theories by design (corpus programs never mix sorts on
+	// one path).
+	f := mustParse(t, `flag && x > 3 && s == null && m == "a"`)
+	sat, model, err := Solve(f)
+	if err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+	if len(model) != 4 {
+		t.Errorf("model = %v", model)
+	}
+}
+
+func TestComplementOfComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genFormula(newTestRng(seed), 3)
+		return Equiv(g, Complement(Complement(g)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomKeyPolarity(t *testing.T) {
+	// x != 3 and x == 3 share a key with opposite polarity.
+	k1, neg1 := CmpCAtom("x", OpEq, 3).Key()
+	k2, neg2 := CmpCAtom("x", OpNe, 3).Key()
+	if k1 != k2 || neg1 == neg2 {
+		t.Errorf("keys: (%s,%v) vs (%s,%v)", k1, neg1, k2, neg2)
+	}
+	// x < y and y > x share a key with the same polarity.
+	k3, neg3 := CmpVAtom("x", OpLt, "y").Key()
+	k4, neg4 := CmpVAtom("y", OpGt, "x").Key()
+	if k3 != k4 || neg3 != neg4 {
+		t.Errorf("flip keys: (%s,%v) vs (%s,%v)", k3, neg3, k4, neg4)
+	}
+	// x >= y is the negation of x < y.
+	k5, neg5 := CmpVAtom("x", OpGe, "y").Key()
+	if k5 != k3 || neg5 == neg3 {
+		t.Errorf("negation keys: (%s,%v) vs (%s,%v)", k5, neg5, k3, neg3)
+	}
+}
