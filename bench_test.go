@@ -6,6 +6,9 @@
 package lisa
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
 	"testing"
 
 	"lisa/internal/callgraph"
@@ -19,6 +22,7 @@ import (
 	"lisa/internal/infer"
 	"lisa/internal/interp"
 	"lisa/internal/minij"
+	"lisa/internal/sched"
 	"lisa/internal/smt"
 	"lisa/internal/ticket"
 )
@@ -280,3 +284,118 @@ func BenchmarkFullAssert(b *testing.B) {
 // BenchmarkMutationSweep runs the guard-weakening mutation experiment
 // (E-M1): every mutant of every head, tests vs semantic assertion.
 func BenchmarkMutationSweep(b *testing.B) { benchExperiment(b, "mutation") }
+
+// schedWorkload builds a registry of n contracts over n independent
+// feature replicas — n*2 guarded call sites, each with branching caller
+// chains — so the scheduler has a wide wave of comparable-cost site jobs.
+func schedWorkload(b *testing.B, n int) (*core.Engine, string) {
+	b.Helper()
+	var src, spec strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&src, `
+class Session%d {
+	bool closing;
+}
+
+class DataTree%d {
+	map nodes;
+
+	void createEphemeral(string path, Session%d owner) {
+		nodes.put(path, owner);
+	}
+}
+
+class Prep%d {
+	DataTree%d tree;
+
+	void processCreate(string path, Session%d s, int mode) {
+		if (s == null || s.closing) {
+			throw "KeeperException";
+		}
+		if (mode > 2) {
+			tree.createEphemeral(path, s);
+		} else {
+			tree.createEphemeral(path, s);
+		}
+	}
+
+	void route(string path, Session%d s, int mode) {
+		if (mode == 1) {
+			processCreate(path, s, mode);
+		} else {
+			if (mode == 2) {
+				processCreate(path, s, mode);
+			} else {
+				processCreate(path, s, mode);
+			}
+		}
+	}
+
+	void frontend(string path, Session%d s, int mode, int retries) {
+		if (retries > 0) {
+			route(path, s, mode);
+		} else {
+			route(path, s, mode);
+		}
+	}
+}
+`, i, i, i, i, i, i, i, i)
+		fmt.Fprintf(&spec, `
+rule eph-%d
+description: ephemeral create requires a live session (replica %d)
+target: DataTree%d.createEphemeral
+bind: s = arg 1
+require: s != null && s.closing == false
+`, i, i, i)
+	}
+	sems, err := contract.ParseSpec(spec.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := core.New()
+	for _, sem := range sems {
+		if err := e.Registry.Add(sem); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e, src.String()
+}
+
+// BenchmarkScheduledAssert compares the sequential engine loop against the
+// scheduler: cold parallel runs (one independent site job per contract
+// site, pool width GOMAXPROCS) and warm fingerprint-cache runs (every job
+// served from cache). On a multi-core machine the parallel run scales with
+// the pool; warm runs skip the static stages entirely on any core count.
+func BenchmarkScheduledAssert(b *testing.B) {
+	e, src := schedWorkload(b, 24)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := e.Assert(src, nil)
+			if err != nil || rep.Counts.Verified == 0 || rep.Counts.Violations != 0 {
+				b.Fatalf("assert: err=%v counts=%+v", err, rep.Counts)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			rep, _, err := sched.New().Assert(e, src, nil, sched.Options{Workers: workers})
+			if err != nil || rep.Counts.Verified == 0 || rep.Counts.Violations != 0 {
+				b.Fatalf("assert: err=%v", err)
+			}
+		}
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		s := sched.New()
+		if _, _, err := s.Assert(e, src, nil, sched.Options{Workers: runtime.GOMAXPROCS(0)}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, stats, err := s.Assert(e, src, nil, sched.Options{Workers: runtime.GOMAXPROCS(0)})
+			if err != nil || rep.Counts.Verified == 0 || stats.Executed != 0 {
+				b.Fatalf("warm run: err=%v executed=%d", err, stats.Executed)
+			}
+		}
+	})
+}

@@ -23,10 +23,16 @@
 //
 //	lisa assert -rules <case-id> -source <file> [-tests]
 //	    Assert the case's rules over an arbitrary MiniJ source file.
+//	    Add -workers N to fan the assertion out over the parallel
+//	    scheduler (0 = GOMAXPROCS; default 1 = sequential).
 //
-//	lisa gate -case <id> -change <file>
+//	lisa gate -case <id> -change <file> [-workers N] [-incremental]
 //	    Run the CI gate for a proposed full-source change against the
 //	    case's registered rules. Exits 1 when the change is blocked.
+//	    -workers N runs the assertion on the parallel scheduler;
+//	    -incremental first primes the scheduler's fingerprint cache on the
+//	    current head, then gates the change so only impacted jobs
+//	    re-execute (the summary reports the cache-hit split).
 //
 //	lisa author -spec <file> -source <file>
 //	    Compile developer-authored semantics from a structured spec file
@@ -50,6 +56,7 @@ import (
 	"lisa/internal/corpus"
 	"lisa/internal/experiments"
 	"lisa/internal/infer"
+	"lisa/internal/sched"
 	"lisa/internal/ticket"
 )
 
@@ -251,6 +258,7 @@ func runAssert(args []string) error {
 	version := fs.String("version", "head", "target version: head, latest, or <ticket-id>:buggy|fixed")
 	sourcePath := fs.String("source", "", "path to a MiniJ source file to assert over")
 	withTests := fs.Bool("tests", false, "also replay similarity-selected tests")
+	workers := fs.Int("workers", 1, "scheduler pool width; 1 = sequential engine, 0 = GOMAXPROCS")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -319,9 +327,21 @@ func runAssert(args []string) error {
 	if *withTests {
 		tests = cs.Tests
 	}
-	rep, err := e.Assert(target, tests)
-	if err != nil {
-		return err
+	var rep *core.AssertReport
+	var err error
+	if *workers != 1 {
+		var stats *sched.Stats
+		rep, stats, err = sched.New().Assert(e, target, tests, sched.Options{Workers: *workers})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nscheduled %d jobs on %d workers (%d site, %d dynamic, %d structural)\n",
+			stats.Jobs, stats.Workers, stats.SiteJobs, stats.DynamicJobs, stats.StructuralJobs)
+	} else {
+		rep, err = e.Assert(target, tests)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("\nverdicts: %d verified, %d violations, %d unknown, %d uncovered\n\n",
 		rep.Counts.Verified, rep.Counts.Violations, rep.Counts.Unknown, rep.Counts.Uncovered)
@@ -357,6 +377,8 @@ func runGate(args []string) error {
 	caseID := fs.String("case", "", "corpus case id providing the registered rules")
 	changePath := fs.String("change", "", "path to the proposed full MiniJ source")
 	summary := fs.String("summary", "proposed change", "change summary for the gate log")
+	workers := fs.Int("workers", 1, "scheduler pool width; 1 = sequential engine, 0 = GOMAXPROCS")
+	incremental := fs.Bool("incremental", false, "prime the fingerprint cache on the current head, then gate only what the change impacts")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -377,11 +399,22 @@ func runGate(args []string) error {
 			return err
 		}
 	}
-	res, err := ci.Gate(e, ci.Change{
+	opts := ci.GateOptions{Workers: *workers, Incremental: *incremental}
+	if *workers != 1 || *incremental {
+		opts.Scheduler = sched.New()
+	}
+	if *incremental && opts.Scheduler != nil {
+		// Warm the cache on the current head so the gate re-executes only
+		// the jobs the change impacts.
+		if _, _, err := opts.Scheduler.Assert(e, cs.Head(), cs.Tests, sched.Options{Workers: *workers}); err != nil {
+			return fmt.Errorf("priming cache on head: %w", err)
+		}
+	}
+	res, err := ci.GateWith(e, ci.Change{
 		Summary:   *summary,
 		OldSource: cs.Head(),
 		NewSource: string(data),
-	}, cs.Tests)
+	}, cs.Tests, opts)
 	if err != nil {
 		return err
 	}

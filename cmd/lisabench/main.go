@@ -1,11 +1,13 @@
 // Command lisabench regenerates every table and figure of the paper from
 // the simulated corpus. Run one experiment with -exp <name>, or all of
-// them with -exp all (the default).
+// them with -exp all (the default). Full runs end with a wall-clock
+// ledger showing where the sweep spent its time.
 //
 // Usage:
 //
 //	lisabench [-exp study|timeline|ephemeral|comparison|workflow|
 //	                generalize|hbase|hdfs|reliability|compose|ablations|all]
+//	          [-timings=false]
 package main
 
 import (
@@ -15,13 +17,30 @@ import (
 
 	"lisa/internal/corpus"
 	"lisa/internal/experiments"
+	"lisa/internal/report"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (use 'all' for every experiment); one of "+experiments.Names())
+	timings := flag.Bool("timings", true, "print the per-experiment wall-clock ledger after a full run")
 	flag.Parse()
 
 	c := corpus.Load()
+	if *exp == "all" {
+		// Drive the registry directly so each experiment's wall clock is
+		// recorded; the output matches experiments.Run("all", c).
+		tm := report.NewTimings()
+		for _, e := range experiments.Registry {
+			fmt.Print(report.Section("EXPERIMENT " + e.Name + ": " + e.Title))
+			var out string
+			tm.Time(e.Name, func() { out = e.Run(c) })
+			fmt.Print(out)
+		}
+		if *timings {
+			fmt.Print(tm.Render("Wall clock by experiment"))
+		}
+		return
+	}
 	out, err := experiments.Run(*exp, c)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lisabench:", err)

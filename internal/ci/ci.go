@@ -11,6 +11,7 @@ import (
 	"lisa/internal/concolic"
 	"lisa/internal/core"
 	"lisa/internal/diffutil"
+	"lisa/internal/sched"
 	"lisa/internal/ticket"
 )
 
@@ -39,14 +40,55 @@ type Result struct {
 	Report   *core.AssertReport
 	// DiffStat summarizes the change when OldSource was provided.
 	DiffStat string
+	// Asserted and Skipped partition the registry for this run: Skipped
+	// contracts had every job served from the scheduler's fingerprint cache
+	// (their previous verdicts are still valid); Asserted contracts
+	// executed at least one job. Sequential gates assert everything.
+	Asserted int
+	Skipped  int
+	// Sched carries the scheduler run stats when the gate was scheduled.
+	Sched *sched.Stats
+}
+
+// GateOptions configure how the gate executes the assertion run.
+type GateOptions struct {
+	// Scheduler, when set, runs the assertion through the parallel
+	// incremental scheduler instead of the sequential engine loop. The
+	// scheduler's cache persists across gates, so successive changes reuse
+	// unaffected results.
+	Scheduler *sched.Scheduler
+	// Workers is the scheduler pool width (0 = GOMAXPROCS).
+	Workers int
+	// Incremental computes the dirty set against Change.OldSource.
+	Incremental bool
 }
 
 // Gate asserts every contract in the engine's registry against the changed
-// source. Violations block the change; uncovered paths and failed sanity
-// checks surface as warnings for developer verdict (per §3.2, the developer
-// decides whether missing coverage means a missed test or a missed rule).
+// source, sequentially. Violations block the change; uncovered paths and
+// failed sanity checks surface as warnings for developer verdict (per §3.2,
+// the developer decides whether missing coverage means a missed test or a
+// missed rule).
 func Gate(engine *core.Engine, ch Change, tests []ticket.TestCase) (*Result, error) {
-	report, err := engine.Assert(ch.NewSource, tests)
+	return GateWith(engine, ch, tests, GateOptions{})
+}
+
+// GateWith is Gate with an execution strategy. The decision and findings
+// are identical for every strategy — the scheduler's merged report is
+// byte-compatible with the sequential run — only wall-clock and the
+// asserted/skipped split change.
+func GateWith(engine *core.Engine, ch Change, tests []ticket.TestCase, opts GateOptions) (*Result, error) {
+	var report *core.AssertReport
+	var stats *sched.Stats
+	var err error
+	if opts.Scheduler != nil {
+		report, stats, err = opts.Scheduler.Assert(engine, ch.NewSource, tests, sched.Options{
+			Workers:     opts.Workers,
+			Incremental: opts.Incremental,
+			BaseSource:  ch.OldSource,
+		})
+	} else {
+		report, err = engine.Assert(ch.NewSource, tests)
+	}
 	if err != nil {
 		// A change that does not compile or resolve is itself a block.
 		return &Result{
@@ -54,7 +96,13 @@ func Gate(engine *core.Engine, ch Change, tests []ticket.TestCase) (*Result, err
 			Findings: []Finding{{Severity: "BLOCK", Text: fmt.Sprintf("change does not build: %v", err)}},
 		}, nil
 	}
-	res := &Result{Report: report}
+	res := &Result{Report: report, Sched: stats}
+	if stats != nil {
+		res.Asserted = stats.AssertedSemantics
+		res.Skipped = stats.SkippedSemantics
+	} else {
+		res.Asserted = engine.Registry.Len()
+	}
 	if ch.OldSource != "" {
 		st := diffutil.DiffStats(diffutil.Diff(ch.OldSource, ch.NewSource))
 		res.DiffStat = fmt.Sprintf("+%d -%d lines", st.Added, st.Removed)
@@ -118,6 +166,19 @@ func (r *Result) Summary() string {
 		sb.WriteString(")")
 	}
 	sb.WriteByte('\n')
+	if r.Report != nil {
+		fmt.Fprintf(&sb, "  contracts: %d asserted, %d skipped (cached)\n", r.Asserted, r.Skipped)
+	}
+	if s := r.Sched; s != nil {
+		fmt.Fprintf(&sb, "  jobs: %d total, %d executed, %d cache hits (workers=%d)\n",
+			s.Jobs, s.Executed, s.CacheHits, s.Workers)
+		if s.DirtyAll {
+			sb.WriteString("  dirty: whole program (change not localizable)\n")
+		} else if len(s.DirtyMethods) > 0 {
+			fmt.Fprintf(&sb, "  dirty: %s (%d of %d jobs impacted)\n",
+				strings.Join(s.DirtyMethods, ", "), s.ImpactedJobs, s.Jobs)
+		}
+	}
 	for _, f := range r.Findings {
 		fmt.Fprintf(&sb, "  %-5s %s\n", f.Severity, f.Text)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"lisa/internal/contract"
+	"lisa/internal/sched"
 	"lisa/internal/core"
 	"lisa/internal/ticket"
 )
@@ -251,5 +252,97 @@ class LedgerTest {
 	}
 	if !strings.Contains(bad.Summary(), "postcondition violated") {
 		t.Errorf("summary:\n%s", bad.Summary())
+	}
+}
+
+// TestGateWithScheduler: the scheduled gate reaches the same decision as
+// the sequential gate, and the second gate on the same scheduler skips
+// every cached contract.
+func TestGateWithScheduler(t *testing.T) {
+	e := engineWithRule(t)
+	s := sched.New()
+	opts := GateOptions{Scheduler: s, Workers: 4, Incremental: true}
+	first, err := GateWith(e, Change{
+		Summary:   "add session tracker fast path",
+		OldSource: sysFixed,
+		NewSource: sysRegressed,
+	}, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Pass {
+		t.Fatalf("regression passed the scheduled gate:\n%s", first.Summary())
+	}
+	if first.Sched == nil || first.Asserted == 0 {
+		t.Fatalf("missing scheduler stats: %+v", first.Sched)
+	}
+	seq, err := Gate(e, Change{OldSource: sysFixed, NewSource: sysRegressed}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Pass != first.Pass || len(seq.Findings) != len(first.Findings) {
+		t.Errorf("scheduled gate diverged from sequential:\n%s\nvs\n%s", first.Summary(), seq.Summary())
+	}
+
+	second, err := GateWith(e, Change{
+		Summary:   "resubmit unchanged",
+		OldSource: sysRegressed,
+		NewSource: sysRegressed,
+	}, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Pass {
+		t.Error("unchanged regression passed on resubmit")
+	}
+	if second.Skipped == 0 || second.Sched.Executed != 0 {
+		t.Errorf("resubmit did not hit cache: asserted=%d skipped=%d executed=%d",
+			second.Asserted, second.Skipped, second.Sched.Executed)
+	}
+}
+
+// TestSummaryGolden pins the exact summary text, including the
+// asserted-vs-skipped contract counts and scheduler job lines.
+func TestSummaryGolden(t *testing.T) {
+	res := &Result{
+		Pass:     false,
+		DiffStat: "+7 -0 lines",
+		Report:   &core.AssertReport{},
+		Asserted: 1,
+		Skipped:  2,
+		Sched: &sched.Stats{
+			Workers: 4, Jobs: 6, Executed: 2, CacheHits: 4,
+			ImpactedJobs: 2, DirtyMethods: []string{"SessionTracker.touchAndRegister"},
+		},
+		Findings: []Finding{
+			{Severity: "BLOCK", Text: "[zk-1208] violation"},
+			{Severity: "WARN", Text: "[zk-1208] uncovered path"},
+		},
+	}
+	want := `GATE: BLOCKED (+7 -0 lines)
+  contracts: 1 asserted, 2 skipped (cached)
+  jobs: 6 total, 2 executed, 4 cache hits (workers=4)
+  dirty: SessionTracker.touchAndRegister (2 of 6 jobs impacted)
+  BLOCK [zk-1208] violation
+  WARN  [zk-1208] uncovered path
+`
+	if got := res.Summary(); got != want {
+		t.Errorf("summary mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	seq := &Result{Pass: true, Report: &core.AssertReport{}, Asserted: 3}
+	wantSeq := `GATE: PASS
+  contracts: 3 asserted, 0 skipped (cached)
+`
+	if got := seq.Summary(); got != wantSeq {
+		t.Errorf("sequential summary mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, wantSeq)
+	}
+
+	broken := &Result{Pass: false, Findings: []Finding{{Severity: "BLOCK", Text: "change does not build: x"}}}
+	wantBroken := `GATE: BLOCKED
+  BLOCK change does not build: x
+`
+	if got := broken.Summary(); got != wantBroken {
+		t.Errorf("broken-build summary mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, wantBroken)
 	}
 }

@@ -234,13 +234,38 @@ type Counts struct {
 	PostViolations int
 }
 
+// StageTimings accumulates wall-clock per workflow stage. A nil map is a
+// valid no-op sink, so stage primitives can run untimed.
+type StageTimings map[string]time.Duration
+
+// Time runs f and charges its wall-clock to the named stage.
+func (t StageTimings) Time(name string, f func()) {
+	if t == nil {
+		f()
+		return
+	}
+	t0 := time.Now()
+	f()
+	t[name] += time.Since(t0)
+}
+
+// AddAll merges another timing map into this one (stage totals add up).
+func (t StageTimings) AddAll(other StageTimings) {
+	if t == nil {
+		return
+	}
+	for name, d := range other {
+		t[name] += d
+	}
+}
+
 // AssertReport is the outcome of asserting every registered contract over
 // one codebase version.
 type AssertReport struct {
 	Semantics []*SemanticReport
 	Counts    Counts
 	// StageTimings records wall-clock per workflow stage.
-	StageTimings map[string]time.Duration
+	StageTimings StageTimings
 	// TestsRun counts dynamic test executions.
 	TestsRun int
 	// StaticOnly marks reports produced without any test corpus.
@@ -266,192 +291,247 @@ func (r *AssertReport) Violations() []string {
 	return out
 }
 
-// Assert checks every registered contract against a codebase, optionally
-// replaying tests for dynamic confirmation. The returned report carries
-// per-path verdicts, coverage, and sanity status.
-func (e *Engine) Assert(source string, tests []ticket.TestCase) (*AssertReport, error) {
-	timings := map[string]time.Duration{}
-	stage := func(name string, f func() error) error {
-		t0 := time.Now()
-		err := f()
-		timings[name] += time.Since(t0)
-		return err
-	}
-
-	// Compile the system alone (for the class inventory) and the system
+// AssertContext is the shared, read-only state one assertion run operates
+// over: the compiled programs, the call graph, and the test index. It is
+// built once by Prepare and consumed by the stage primitives below —
+// sequentially by Assert, or fanned out across goroutines by the scheduler
+// in internal/sched. After Prepare returns, nothing in the context mutates,
+// so concurrent stage execution is safe.
+type AssertContext struct {
+	Source string
+	Tests  []ticket.TestCase
+	// ProgSys is the system alone (the class inventory); ProgAll is system
 	// plus tests (the analysis program, so statement IDs align between
 	// static and dynamic stages).
-	var progSys, progAll *minij.Program
+	ProgSys *minij.Program
+	ProgAll *minij.Program
+	Graph   *callgraph.Graph
+	// Selector indexes the test corpus for similarity selection.
+	Selector *testsel.Selector
+
+	systemClasses map[string]bool
+}
+
+// SystemClass reports whether the named class belongs to the system source
+// (as opposed to test code).
+func (c *AssertContext) SystemClass(name string) bool { return c.systemClasses[name] }
+
+// IsEntry reports whether m is an entry function: a system method not
+// called from system code (test callers do not disqualify it).
+func (c *AssertContext) IsEntry(m *minij.Method) bool {
+	if !c.systemClasses[m.Class.Name] {
+		return false
+	}
+	for _, cs := range c.Graph.Callers[m] {
+		if c.systemClasses[cs.Caller.Class.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// Prepare compiles the target source (with and without tests), builds the
+// call graph, and indexes the test corpus — the shared setup every
+// assertion stage depends on.
+func (e *Engine) Prepare(source string, tests []ticket.TestCase, tm StageTimings) (*AssertContext, error) {
+	ctx := &AssertContext{Source: source, Tests: tests}
 	full := source
 	for _, tc := range tests {
 		full += "\n" + tc.Source
 	}
-	if err := stage("compile", func() error {
-		var err error
-		progSys, err = compileSource(source)
+	var err error
+	tm.Time("compile", func() {
+		ctx.ProgSys, err = compileSource(source)
 		if err != nil {
-			return fmt.Errorf("system source: %w", err)
+			err = fmt.Errorf("system source: %w", err)
+			return
 		}
-		progAll, err = compileSource(full)
+		ctx.ProgAll, err = compileSource(full)
 		if err != nil {
-			return fmt.Errorf("system+tests: %w", err)
+			err = fmt.Errorf("system+tests: %w", err)
 		}
-		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	systemClasses := map[string]bool{}
-	for _, c := range progSys.Classes {
-		systemClasses[c.Name] = true
+	ctx.systemClasses = map[string]bool{}
+	for _, c := range ctx.ProgSys.Classes {
+		ctx.systemClasses[c.Name] = true
 	}
+	tm.Time("callgraph", func() { ctx.Graph = callgraph.Build(ctx.ProgAll) })
+	tm.Time("test-index", func() { ctx.Selector = testsel.New(tests) })
+	return ctx, nil
+}
 
-	var graph *callgraph.Graph
-	_ = stage("callgraph", func() error {
-		graph = callgraph.Build(progAll)
-		return nil
-	})
-	// An entry function is a system method not called from system code
-	// (test callers do not disqualify it).
-	isEntry := func(m *minij.Method) bool {
-		if !systemClasses[m.Class.Name] {
-			return false
-		}
-		for _, cs := range graph.Callers[m] {
-			if systemClasses[cs.Caller.Class.Name] {
-				return false
+// StructuralReport runs the structural check for sem over the system
+// program and, when violations surface and tests exist, confirms them under
+// the runtime blocking monitor.
+func (e *Engine) StructuralReport(ctx *AssertContext, sem *contract.Semantic, tm StageTimings) *SemanticReport {
+	sr := &SemanticReport{Semantic: sem}
+	tm.Time("structural", func() { sr.Structural = sem.Structural.Check(ctx.ProgSys) })
+	if len(sr.Structural) > 0 && len(ctx.Tests) > 0 {
+		tm.Time("structural-replay", func() {
+			sr.StructuralConfirmedBy = e.confirmStructural(ctx.ProgAll, sr.Structural, ctx.Tests)
+		})
+	}
+	sr.SanityOK = true
+	return sr
+}
+
+// MatchSites finds sem's target sites in system code (calls from test code
+// are not production paths), in deterministic match order.
+func (e *Engine) MatchSites(ctx *AssertContext, sem *contract.Semantic, tm StageTimings) []*contract.Site {
+	var sites []*contract.Site
+	tm.Time("match", func() {
+		for _, site := range contract.Match(sem, ctx.ProgAll) {
+			if ctx.systemClasses[site.Method.Class.Name] {
+				sites = append(sites, site)
 			}
 		}
-		return true
-	}
-
-	var selector *testsel.Selector
-	_ = stage("test-index", func() error {
-		selector = testsel.New(tests)
-		return nil
 	})
+	return sites
+}
 
-	report := &AssertReport{StageTimings: timings, StaticOnly: len(tests) == 0}
-	for _, sem := range e.Registry.All() {
-		sr := &SemanticReport{Semantic: sem}
-		report.Semantics = append(report.Semantics, sr)
+// SiteChains starts a site report by enumerating the entry→site call chains
+// of the execution tree.
+func (e *Engine) SiteChains(ctx *AssertContext, site *contract.Site, tm StageTimings) *SiteReport {
+	siteRep := &SiteReport{Site: site}
+	tm.Time("exec-tree", func() {
+		tree := ctx.Graph.ExecutionTree(site.Method, callgraph.TreeOptions{IsEntry: ctx.IsEntry})
+		siteRep.Chains = tree.Paths
+		siteRep.TreeTruncated = tree.Truncated
+	})
+	return siteRep
+}
 
-		if sem.Kind == contract.StructuralKind {
-			_ = stage("structural", func() error {
-				sr.Structural = sem.Structural.Check(progSys)
-				return nil
-			})
-			if len(sr.Structural) > 0 && len(tests) > 0 {
-				_ = stage("structural-replay", func() error {
-					sr.StructuralConfirmedBy = e.confirmStructural(progAll, sr.Structural, tests)
-					return nil
+// SitePaths enumerates the static paths reaching siteRep's site along its
+// chains and records per-path complement-check verdicts.
+func (e *Engine) SitePaths(ctx *AssertContext, siteRep *SiteReport, tm StageTimings) {
+	site := siteRep.Site
+	tm.Time("static-paths", func() {
+		opts := concolic.Options{MaxPaths: e.MaxStaticPaths, NoPrune: e.NoPrune}
+		chains := siteRep.Chains
+		if e.IntraOnly || len(chains) == 0 {
+			chains = []callgraph.Path{nil}
+		}
+		seen := map[string]bool{}
+		for _, chain := range chains {
+			var paths []*concolic.StaticPath
+			var truncated bool
+			if e.IntraOnly {
+				paths, truncated = concolic.StaticPaths(ctx.ProgAll, site, opts)
+			} else {
+				paths, truncated = concolic.ChainStaticPaths(ctx.ProgAll, site, chain, opts)
+			}
+			siteRep.TreeTruncated = siteRep.TreeTruncated || truncated
+			for _, p := range paths {
+				if seen[p.Key()] {
+					continue
+				}
+				seen[p.Key()] = true
+				siteRep.Paths = append(siteRep.Paths, &PathReport{
+					Static:          p,
+					Verdict:         concolic.CheckStaticPath(p),
+					DynamicVerdicts: map[string]concolic.Verdict{},
 				})
 			}
-			sr.SanityOK = true
-			report.Counts.Violations += len(sr.Structural)
-			continue
 		}
+	})
+}
 
-		var sites []*contract.Site
-		_ = stage("match", func() error {
-			sites = contract.Match(sem, progAll)
-			return nil
-		})
-		for _, site := range sites {
-			if !systemClasses[site.Method.Class.Name] {
-				continue // calls from test code are not production paths
-			}
-			siteRep := &SiteReport{Site: site}
-			sr.Sites = append(sr.Sites, siteRep)
+// SiteStatic runs the full static pipeline for one site: execution tree,
+// then path enumeration with verdicts.
+func (e *Engine) SiteStatic(ctx *AssertContext, site *contract.Site, tm StageTimings) *SiteReport {
+	siteRep := e.SiteChains(ctx, site, tm)
+	e.SitePaths(ctx, siteRep, tm)
+	return siteRep
+}
 
-			_ = stage("exec-tree", func() error {
-				tree := graph.ExecutionTree(site.Method, callgraph.TreeOptions{IsEntry: isEntry})
-				siteRep.Chains = tree.Paths
-				siteRep.TreeTruncated = tree.Truncated
-				return nil
-			})
-			_ = stage("static-paths", func() error {
-				opts := concolic.Options{MaxPaths: e.MaxStaticPaths, NoPrune: e.NoPrune}
-				chains := siteRep.Chains
-				if e.IntraOnly || len(chains) == 0 {
-					chains = []callgraph.Path{nil}
-				}
-				seen := map[string]bool{}
-				for _, chain := range chains {
-					var paths []*concolic.StaticPath
-					var truncated bool
-					if e.IntraOnly {
-						paths, truncated = concolic.StaticPaths(progAll, site, opts)
-					} else {
-						paths, truncated = concolic.ChainStaticPaths(progAll, site, chain, opts)
-					}
-					siteRep.TreeTruncated = siteRep.TreeTruncated || truncated
-					for _, p := range paths {
-						if seen[p.Key()] {
-							continue
-						}
-						seen[p.Key()] = true
-						siteRep.Paths = append(siteRep.Paths, &PathReport{
-							Static:          p,
-							Verdict:         concolic.CheckStaticPath(p),
-							DynamicVerdicts: map[string]concolic.Verdict{},
-						})
-					}
-				}
-				return nil
-			})
-		}
-
-		// Dynamic stage: select tests per site and replay them.
-		if len(tests) > 0 {
-			var selected []ticket.TestCase
-			_ = stage("test-select", func() error {
-				seen := map[string]bool{}
-				for _, siteRep := range sr.Sites {
-					var statics []*concolic.StaticPath
-					for _, p := range siteRep.Paths {
-						statics = append(statics, p.Static)
-					}
-					var chosen []ticket.TestCase
-					if e.RunAllTests {
-						chosen = selector.All()
-					} else {
-						chosen = selector.SelectForSite(siteRep.Site, siteRep.Chains, statics, e.topK())
-					}
-					for _, tc := range chosen {
-						siteRep.SelectedTests = append(siteRep.SelectedTests, tc.Name)
-						if !seen[tc.Name] {
-							seen[tc.Name] = true
-							selected = append(selected, tc)
-						}
-					}
-				}
-				return nil
-			})
-			_ = stage("concolic", func() error {
-				e.runDynamic(progAll, sr, selected)
-				return nil
-			})
-			report.TestsRun += len(selected)
-		}
-
-		// Aggregate verdicts and the sanity check.
+// DynamicReplay selects tests per site, replays them concolically, and
+// attributes hits to static paths. It returns the number of distinct tests
+// run.
+func (e *Engine) DynamicReplay(ctx *AssertContext, sr *SemanticReport, tm StageTimings) int {
+	if len(ctx.Tests) == 0 {
+		return 0
+	}
+	var selected []ticket.TestCase
+	tm.Time("test-select", func() {
+		seen := map[string]bool{}
 		for _, siteRep := range sr.Sites {
+			var statics []*concolic.StaticPath
 			for _, p := range siteRep.Paths {
-				switch p.Verdict {
-				case concolic.VerdictVerified:
-					report.Counts.Verified++
-					sr.SanityOK = true
-				case concolic.VerdictViolation:
-					report.Counts.Violations++
-				default:
-					report.Counts.Unknown++
+				statics = append(statics, p.Static)
+			}
+			var chosen []ticket.TestCase
+			if e.RunAllTests {
+				chosen = ctx.Selector.All()
+			} else {
+				chosen = ctx.Selector.SelectForSite(siteRep.Site, siteRep.Chains, statics, e.topK())
+			}
+			for _, tc := range chosen {
+				siteRep.SelectedTests = append(siteRep.SelectedTests, tc.Name)
+				if !seen[tc.Name] {
+					seen[tc.Name] = true
+					selected = append(selected, tc)
 				}
-				if !p.Covered() && !report.StaticOnly {
-					report.Counts.Uncovered++
-				}
-				report.Counts.PostViolations += len(p.PostViolatedBy)
 			}
 		}
+	})
+	tm.Time("concolic", func() { e.runDynamic(ctx.ProgAll, sr, selected) })
+	return len(selected)
+}
+
+// Absorb appends a finished semantic report and folds its verdicts into the
+// aggregate counts (including the per-rule sanity check).
+func (r *AssertReport) Absorb(sr *SemanticReport) {
+	r.Semantics = append(r.Semantics, sr)
+	if sr.Semantic.Kind == contract.StructuralKind {
+		r.Counts.Violations += len(sr.Structural)
+		return
+	}
+	for _, siteRep := range sr.Sites {
+		for _, p := range siteRep.Paths {
+			switch p.Verdict {
+			case concolic.VerdictVerified:
+				r.Counts.Verified++
+				sr.SanityOK = true
+			case concolic.VerdictViolation:
+				r.Counts.Violations++
+			default:
+				r.Counts.Unknown++
+			}
+			if !p.Covered() && !r.StaticOnly {
+				r.Counts.Uncovered++
+			}
+			r.Counts.PostViolations += len(p.PostViolatedBy)
+		}
+	}
+}
+
+// Assert checks every registered contract against a codebase, optionally
+// replaying tests for dynamic confirmation. The returned report carries
+// per-path verdicts, coverage, and sanity status. This is the sequential
+// reference run; internal/sched produces byte-identical reports by fanning
+// the same stage primitives out across a worker pool.
+func (e *Engine) Assert(source string, tests []ticket.TestCase) (*AssertReport, error) {
+	tm := StageTimings{}
+	ctx, err := e.Prepare(source, tests, tm)
+	if err != nil {
+		return nil, err
+	}
+	report := &AssertReport{StageTimings: tm, StaticOnly: len(tests) == 0}
+	for _, sem := range e.Registry.All() {
+		var sr *SemanticReport
+		if sem.Kind == contract.StructuralKind {
+			sr = e.StructuralReport(ctx, sem, tm)
+		} else {
+			sr = &SemanticReport{Semantic: sem}
+			for _, site := range e.MatchSites(ctx, sem, tm) {
+				sr.Sites = append(sr.Sites, e.SiteStatic(ctx, site, tm))
+			}
+			report.TestsRun += e.DynamicReplay(ctx, sr, tm)
+		}
+		report.Absorb(sr)
 	}
 	return report, nil
 }

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render dumps the full assertion report as deterministic text: counts,
+// then every semantic, site, and path with verdicts, coverage, and dynamic
+// attributions. Two reports are equivalent iff their renderings are
+// byte-identical — this is the contract the scheduler's merged output is
+// held to against the sequential run (wall-clock timings are excluded; they
+// are the only nondeterministic part of a report).
+func (r *AssertReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "counts: verified=%d violations=%d unknown=%d uncovered=%d post-violations=%d\n",
+		r.Counts.Verified, r.Counts.Violations, r.Counts.Unknown, r.Counts.Uncovered, r.Counts.PostViolations)
+	fmt.Fprintf(&sb, "tests-run=%d static-only=%v\n", r.TestsRun, r.StaticOnly)
+	for _, sr := range r.Semantics {
+		fmt.Fprintf(&sb, "semantic %s sanity=%v\n", sr.Semantic.ID, sr.SanityOK)
+		for i, v := range sr.Structural {
+			fmt.Fprintf(&sb, "  structural %s", v)
+			if tests := sr.StructuralConfirmedBy[i]; len(tests) > 0 {
+				fmt.Fprintf(&sb, " confirmed-by %s", strings.Join(tests, ","))
+			}
+			sb.WriteByte('\n')
+		}
+		for _, site := range sr.Sites {
+			fmt.Fprintf(&sb, "  site %s truncated=%v", site.Site, site.TreeTruncated)
+			if len(site.SelectedTests) > 0 {
+				fmt.Fprintf(&sb, " selected=%s", strings.Join(site.SelectedTests, ","))
+			}
+			sb.WriteByte('\n')
+			for _, ch := range site.Chains {
+				fmt.Fprintf(&sb, "    chain %s\n", ch)
+			}
+			for _, p := range site.Paths {
+				fmt.Fprintf(&sb, "    path %-9s cond={%s} {%s}", p.Verdict, p.Static.Cond, p.Static)
+				if len(p.CoveredBy) > 0 {
+					fmt.Fprintf(&sb, " covered-by %s", strings.Join(p.CoveredBy, ","))
+				}
+				if len(p.PostViolatedBy) > 0 {
+					fmt.Fprintf(&sb, " post-violated-by %s", strings.Join(p.PostViolatedBy, ","))
+				}
+				sb.WriteByte('\n')
+				var names []string
+				for name := range p.DynamicVerdicts {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					fmt.Fprintf(&sb, "      dynamic %s=%s\n", name, p.DynamicVerdicts[name])
+				}
+			}
+		}
+	}
+	return sb.String()
+}

@@ -193,6 +193,18 @@ func formatClass(sb *strings.Builder, c *Class) {
 	sb.WriteString("}\n")
 }
 
+// FormatMethod pretty-prints one method in canonical form, prefixed with
+// its qualified name. Like FormatProgram, the output depends only on the
+// method's AST — never on source positions or original whitespace — so it
+// doubles as the content identity the incremental scheduler fingerprints.
+func FormatMethod(m *Method) string {
+	var sb strings.Builder
+	sb.WriteString(m.FullName())
+	sb.WriteByte('\n')
+	formatMethod(&sb, m)
+	return sb.String()
+}
+
 func formatMethod(sb *strings.Builder, m *Method) {
 	sb.WriteByte('\t')
 	if m.Static {

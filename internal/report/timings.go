@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"time"
+)
+
+// Timings is an ordered wall-clock ledger: each Record or Time call
+// appends (or accumulates into) a named entry, and Render draws the
+// aligned table lisabench prints after an experiment sweep. Entries keep
+// first-recorded order, so the table reads in execution order.
+type Timings struct {
+	names  []string
+	totals map[string]time.Duration
+}
+
+// NewTimings returns an empty ledger.
+func NewTimings() *Timings {
+	return &Timings{totals: map[string]time.Duration{}}
+}
+
+// Record adds d to the named entry, creating it on first use.
+func (t *Timings) Record(name string, d time.Duration) {
+	if _, ok := t.totals[name]; !ok {
+		t.names = append(t.names, name)
+	}
+	t.totals[name] += d
+}
+
+// Time runs f and records its wall-clock under name.
+func (t *Timings) Time(name string, f func()) {
+	start := time.Now()
+	f()
+	t.Record(name, time.Since(start))
+}
+
+// Total sums every entry.
+func (t *Timings) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t.totals {
+		sum += d
+	}
+	return sum
+}
+
+// Get returns the accumulated duration for name (zero if absent).
+func (t *Timings) Get(name string) time.Duration { return t.totals[name] }
+
+// Render draws the ledger as a table with per-entry share of the total.
+func (t *Timings) Render(title string) string {
+	tb := &Table{Title: title, Headers: []string{"stage", "wall clock", "share"}}
+	total := t.Total()
+	for _, name := range t.names {
+		d := t.totals[name]
+		share := "-"
+		if total > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*float64(d)/float64(total))
+		}
+		tb.AddRow(name, formatDuration(d), share)
+	}
+	tb.AddRow("total", formatDuration(total), "")
+	return tb.Render()
+}
+
+// formatDuration rounds to a readable precision: sub-millisecond values
+// keep microseconds, everything else rounds to 10µs.
+func formatDuration(d time.Duration) string {
+	if d < time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// RenderStages draws a map of stage durations (e.g. an engine run's
+// StageTimings) in the given order.
+func RenderStages(title string, order []string, stages map[string]time.Duration) string {
+	t := NewTimings()
+	for _, name := range order {
+		t.Record(name, stages[name])
+	}
+	return t.Render(title)
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimingsAccumulateAndOrder(t *testing.T) {
+	tm := NewTimings()
+	tm.Record("compile", 10*time.Millisecond)
+	tm.Record("solve", 30*time.Millisecond)
+	tm.Record("compile", 10*time.Millisecond)
+	if got := tm.Get("compile"); got != 20*time.Millisecond {
+		t.Errorf("compile = %v", got)
+	}
+	if got := tm.Total(); got != 50*time.Millisecond {
+		t.Errorf("total = %v", got)
+	}
+	out := tm.Render("Stage timings")
+	if !strings.Contains(out, "Stage timings") || !strings.Contains(out, "compile") {
+		t.Errorf("render:\n%s", out)
+	}
+	// compile was recorded first, so it renders before solve.
+	if strings.Index(out, "compile") > strings.Index(out, "solve") {
+		t.Errorf("entries out of recording order:\n%s", out)
+	}
+	if !strings.Contains(out, "40.0%") || !strings.Contains(out, "60.0%") {
+		t.Errorf("shares missing:\n%s", out)
+	}
+}
+
+func TestTimingsTime(t *testing.T) {
+	tm := NewTimings()
+	tm.Time("work", func() { time.Sleep(time.Millisecond) })
+	if tm.Get("work") == 0 {
+		t.Error("Time recorded nothing")
+	}
+}
+
+func TestRenderStages(t *testing.T) {
+	out := RenderStages("Engine stages", []string{"a", "b"}, map[string]time.Duration{
+		"a": time.Millisecond, "b": 3 * time.Millisecond,
+	})
+	if !strings.Contains(out, "Engine stages") || !strings.Contains(out, "total") {
+		t.Errorf("render:\n%s", out)
+	}
+	if strings.Index(out, "a") > strings.Index(out, "b") {
+		t.Errorf("order not respected:\n%s", out)
+	}
+}

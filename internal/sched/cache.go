@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"sync"
+
+	"lisa/internal/concolic"
+	"lisa/internal/contract"
+	"lisa/internal/core"
+)
+
+// Cache is the fingerprint-keyed result store. It survives across Assert
+// runs of one Scheduler, so a warm run serves unchanged jobs without
+// re-executing them. Entries are immutable once stored: results are deep-
+// copied on put and on get, so report mutation (the dynamic overlay) never
+// corrupts cached state. All methods are safe for concurrent use by the
+// worker pool.
+type Cache struct {
+	mu         sync.Mutex
+	sites      map[string]*siteEntry
+	structural map[string]*core.SemanticReport
+	dynamic    map[string]*dynOverlay
+	hits       int
+	misses     int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		sites:      map[string]*siteEntry{},
+		structural: map[string]*core.SemanticReport{},
+		dynamic:    map[string]*dynOverlay{},
+	}
+}
+
+// CacheStats is a point-in-time cache counter snapshot.
+type CacheStats struct {
+	Entries int
+	Hits    int
+	Misses  int
+}
+
+// Stats returns cumulative hit/miss counters and the entry count.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries: len(c.sites) + len(c.structural) + len(c.dynamic),
+		Hits:    c.hits,
+		Misses:  c.misses,
+	}
+}
+
+// siteEntry is the cached static result of one (semantic × site) job. The
+// site identity itself is not stored: a hit is re-anchored onto the current
+// run's site object, so dynamic replay and report rendering always see the
+// current program.
+type siteEntry struct {
+	paths     []*core.PathReport
+	truncated bool
+}
+
+// getSite serves a site job's static paths, deep-copied onto fresh
+// PathReports ready for dynamic attribution.
+func (c *Cache) getSite(fp string) ([]*core.PathReport, bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.sites[fp]
+	if !ok {
+		c.misses++
+		return nil, false, false
+	}
+	c.hits++
+	return clonePaths(ent.paths), ent.truncated, true
+}
+
+// putSite stores a just-computed static site result.
+func (c *Cache) putSite(fp string, siteRep *core.SiteReport) {
+	ent := &siteEntry{paths: clonePaths(siteRep.Paths), truncated: siteRep.TreeTruncated}
+	c.mu.Lock()
+	c.sites[fp] = ent
+	c.mu.Unlock()
+}
+
+// getStructural serves a cached structural semantic report.
+func (c *Cache) getStructural(fp string) (*core.SemanticReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sr, ok := c.structural[fp]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return cloneStructural(sr), true
+}
+
+// putStructural stores a structural result.
+func (c *Cache) putStructural(fp string, sr *core.SemanticReport) {
+	clone := cloneStructural(sr)
+	c.mu.Lock()
+	c.structural[fp] = clone
+	c.mu.Unlock()
+}
+
+// dynOverlay is the cached dynamic result of one per-semantic replay job:
+// selected tests and per-path coverage/verdict attributions, addressed by
+// (site index, path index). The addressing is sound because the dynamic
+// fingerprint covers every site fingerprint — a hit implies the static
+// structure is identical.
+type dynOverlay struct {
+	testsRun int
+	sites    []siteDyn
+}
+
+type siteDyn struct {
+	selected []string
+	paths    []pathDyn
+}
+
+type pathDyn struct {
+	coveredBy      []string
+	dynVerdicts    map[string]concolic.Verdict
+	postViolatedBy []string
+}
+
+// getDynamic serves a cached replay overlay.
+func (c *Cache) getDynamic(fp string) (*dynOverlay, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ov, ok := c.dynamic[fp]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return ov.clone(), true
+}
+
+// putDynamic stores a replay overlay extracted from a finished semantic
+// report.
+func (c *Cache) putDynamic(fp string, ov *dynOverlay) {
+	clone := ov.clone()
+	c.mu.Lock()
+	c.dynamic[fp] = clone
+	c.mu.Unlock()
+}
+
+// --- deep copies ----------------------------------------------------------
+
+func clonePaths(paths []*core.PathReport) []*core.PathReport {
+	out := make([]*core.PathReport, len(paths))
+	for i, p := range paths {
+		out[i] = &core.PathReport{
+			Static:          p.Static, // immutable after enumeration
+			Verdict:         p.Verdict,
+			CoveredBy:       cloneStrings(p.CoveredBy),
+			DynamicVerdicts: cloneVerdicts(p.DynamicVerdicts),
+			PostViolatedBy:  cloneStrings(p.PostViolatedBy),
+		}
+	}
+	return out
+}
+
+func cloneStructural(sr *core.SemanticReport) *core.SemanticReport {
+	clone := &core.SemanticReport{
+		Semantic:   sr.Semantic,
+		Structural: append([]*contract.StructuralViolation(nil), sr.Structural...),
+		SanityOK:   sr.SanityOK,
+	}
+	if sr.StructuralConfirmedBy != nil {
+		clone.StructuralConfirmedBy = map[int][]string{}
+		for i, tests := range sr.StructuralConfirmedBy {
+			clone.StructuralConfirmedBy[i] = cloneStrings(tests)
+		}
+	}
+	return clone
+}
+
+func (ov *dynOverlay) clone() *dynOverlay {
+	out := &dynOverlay{testsRun: ov.testsRun, sites: make([]siteDyn, len(ov.sites))}
+	for i, s := range ov.sites {
+		cs := siteDyn{selected: cloneStrings(s.selected), paths: make([]pathDyn, len(s.paths))}
+		for j, p := range s.paths {
+			cs.paths[j] = pathDyn{
+				coveredBy:      cloneStrings(p.coveredBy),
+				dynVerdicts:    cloneVerdicts(p.dynVerdicts),
+				postViolatedBy: cloneStrings(p.postViolatedBy),
+			}
+		}
+		out.sites[i] = cs
+	}
+	return out
+}
+
+// extractOverlay lifts the dynamic attributions out of a replayed semantic
+// report.
+func extractOverlay(sr *core.SemanticReport, testsRun int) *dynOverlay {
+	ov := &dynOverlay{testsRun: testsRun, sites: make([]siteDyn, len(sr.Sites))}
+	for i, siteRep := range sr.Sites {
+		s := siteDyn{selected: cloneStrings(siteRep.SelectedTests), paths: make([]pathDyn, len(siteRep.Paths))}
+		for j, p := range siteRep.Paths {
+			s.paths[j] = pathDyn{
+				coveredBy:      cloneStrings(p.CoveredBy),
+				dynVerdicts:    cloneVerdicts(p.DynamicVerdicts),
+				postViolatedBy: cloneStrings(p.PostViolatedBy),
+			}
+		}
+		ov.sites[i] = s
+	}
+	return ov
+}
+
+// applyOverlay writes a cached replay overlay back onto a semantic report
+// whose static structure matches (guaranteed by the dynamic fingerprint).
+func applyOverlay(sr *core.SemanticReport, ov *dynOverlay) {
+	for i, siteRep := range sr.Sites {
+		if i >= len(ov.sites) {
+			break
+		}
+		s := ov.sites[i]
+		siteRep.SelectedTests = cloneStrings(s.selected)
+		for j, p := range siteRep.Paths {
+			if j >= len(s.paths) {
+				break
+			}
+			p.CoveredBy = cloneStrings(s.paths[j].coveredBy)
+			p.DynamicVerdicts = cloneVerdicts(s.paths[j].dynVerdicts)
+			p.PostViolatedBy = cloneStrings(s.paths[j].postViolatedBy)
+		}
+	}
+}
+
+func cloneStrings(xs []string) []string {
+	if xs == nil {
+		return nil
+	}
+	return append([]string(nil), xs...)
+}
+
+func cloneVerdicts(m map[string]concolic.Verdict) map[string]concolic.Verdict {
+	out := make(map[string]concolic.Verdict, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

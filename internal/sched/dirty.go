@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lisa/internal/diffutil"
+	"lisa/internal/minij"
+)
+
+// Dirty is the impact set of one proposed change: the methods whose
+// behavior the change can affect. The incremental gate uses it to report
+// which jobs the diff can reach; jobs outside the set are candidates for
+// cache service. The classification is conservative: anything the analysis
+// cannot localize (parse failures, class/field/signature changes, which
+// can reshape resolution and the call graph arbitrarily) marks everything
+// dirty.
+type Dirty struct {
+	// All means the change could not be localized to method bodies.
+	All bool
+	// Methods maps qualified method names ("Class.method") whose canonical
+	// body text changed.
+	Methods map[string]bool
+	// Stat summarizes the textual diff.
+	Stat diffutil.Stats
+}
+
+// ComputeDirty diffs two versions of a system source and localizes the
+// change to method bodies. Whitespace-only edits produce an empty set:
+// method identity is canonical AST text, not source text.
+func ComputeDirty(oldSource, newSource string) *Dirty {
+	d := &Dirty{Methods: map[string]bool{}}
+	edits := diffutil.Diff(oldSource, newSource)
+	d.Stat = diffutil.DiffStats(edits)
+	if !diffutil.Changed(edits) {
+		return d
+	}
+	oldProg, errOld := minij.Parse(oldSource)
+	newProg, errNew := minij.Parse(newSource)
+	if errOld != nil || errNew != nil {
+		d.All = true
+		return d
+	}
+	if classShape(oldProg) != classShape(newProg) {
+		d.All = true
+		return d
+	}
+	old := map[string]string{}
+	for _, m := range oldProg.Methods() {
+		old[m.FullName()] = minij.FormatMethod(m)
+	}
+	for _, m := range newProg.Methods() {
+		if old[m.FullName()] != minij.FormatMethod(m) {
+			d.Methods[m.FullName()] = true
+		}
+	}
+	return d
+}
+
+// classShape renders the program's declaration skeleton: class names,
+// fields, and method signatures, without bodies. Two programs with equal
+// shape differ at most in method bodies, so resolution context outside a
+// changed body is preserved.
+func classShape(p *minij.Program) string {
+	var sb strings.Builder
+	for _, c := range p.Classes {
+		sb.WriteString("class ")
+		sb.WriteString(c.Name)
+		sb.WriteByte('\n')
+		for _, f := range c.Fields {
+			fmt.Fprintf(&sb, "  field %s %s\n", f.Type.String(), f.Name)
+		}
+		for _, m := range c.Methods {
+			fmt.Fprintf(&sb, "  method static=%v %s %s(", m.Static, m.Ret.String(), m.Name)
+			for i, p := range m.Params {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%s %s", p.Type.String(), p.Name)
+			}
+			sb.WriteString(")\n")
+		}
+	}
+	return sb.String()
+}
+
+// Any reports whether the change affects anything at all.
+func (d *Dirty) Any() bool { return d.All || len(d.Methods) > 0 }
+
+// Contains reports whether the named method is dirty.
+func (d *Dirty) Contains(fullName string) bool { return d.All || d.Methods[fullName] }
+
+// SortedMethods lists the dirty methods in deterministic order.
+func (d *Dirty) SortedMethods() []string {
+	out := make([]string, 0, len(d.Methods))
+	for name := range d.Methods {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// impactsClosure reports whether any method in a site job's read closure
+// is dirty — i.e. whether the diff can reach that job.
+func (d *Dirty) impactsClosure(closure []*minij.Method) bool {
+	if d.All {
+		return true
+	}
+	for _, m := range closure {
+		if d.Methods[m.FullName()] {
+			return true
+		}
+	}
+	return false
+}

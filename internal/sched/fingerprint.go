@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"lisa/internal/callgraph"
+	"lisa/internal/contract"
+	"lisa/internal/core"
+	"lisa/internal/minij"
+	"lisa/internal/ticket"
+)
+
+// Fingerprints are content hashes over everything a job's result depends
+// on. Two runs that hash a job to the same fingerprint are guaranteed the
+// same verdicts, coverage, and path conditions, so the cached result can be
+// served instead of re-executing. All inputs are canonical (AST pretty-
+// printing, formula rendering) — never source positions or whitespace — so
+// a reformatted file does not invalidate anything.
+
+// hashParts digests a sequence of strings with length framing (so part
+// boundaries cannot alias) into a short hex fingerprint.
+func hashParts(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		io.WriteString(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// semFingerprint identifies a semantic by its checker content: the <P> s
+// <Q> contract (formula text, target pattern, slot bindings) or the
+// structural rule and its scope.
+func semFingerprint(sem *contract.Semantic) string {
+	parts := []string{"sem", sem.ID, sem.Kind.String()}
+	if sem.Kind == contract.StructuralKind {
+		parts = append(parts, sem.Structural.Name(), scopeCanon(sem.Structural))
+	} else {
+		pre, post := "", ""
+		if sem.Pre != nil {
+			pre = sem.Pre.String()
+		}
+		if sem.Post != nil {
+			post = sem.Post.String()
+		}
+		binds := make([]string, 0, len(sem.Target.Bind))
+		for slot, idx := range sem.Target.Bind {
+			binds = append(binds, fmt.Sprintf("%s=%d", slot, idx))
+		}
+		sort.Strings(binds)
+		parts = append(parts, pre, post, sem.Target.Callee, sem.Target.Within, strings.Join(binds, ","))
+	}
+	return hashParts(parts...)
+}
+
+// scopeCanon renders a structural rule's method restriction.
+func scopeCanon(rule contract.StructuralRule) string {
+	var scope map[string]bool
+	switch r := rule.(type) {
+	case contract.NoBlockingInSync:
+		scope = r.Only
+	case contract.NoNestedSync:
+		scope = r.Only
+	}
+	names := make([]string, 0, len(scope))
+	for n := range scope {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// staticEngineFP captures the engine options that change static-stage
+// results (the ablation switches).
+func staticEngineFP(e *core.Engine) string {
+	return fmt.Sprintf("max=%d noprune=%v intra=%v", e.MaxStaticPaths, e.NoPrune, e.IntraOnly)
+}
+
+// dynamicEngineFP captures the engine options that change test selection
+// and replay.
+func dynamicEngineFP(e *core.Engine) string {
+	return fmt.Sprintf("topk=%d runall=%v", e.TestTopK, e.RunAllTests)
+}
+
+// corpusFingerprint identifies the whole test corpus. Selection ranks
+// against TF-IDF weights over every document, so any test change can
+// reorder any selection — the corpus hashes as one unit.
+func corpusFingerprint(tests []ticket.TestCase) string {
+	parts := make([]string, 0, 5*len(tests))
+	for _, tc := range tests {
+		parts = append(parts, tc.Name, tc.Class, tc.Method, tc.Description, tc.Source)
+	}
+	return hashParts(parts...)
+}
+
+// siteClosure returns the methods whose content the site's static stage can
+// read, sorted by qualified name: the target method, every method on every
+// entry→site chain (interprocedural condition inheritance), and everything
+// reachable from those (getter normalization inlines callee bodies).
+func siteClosure(g *callgraph.Graph, siteRep *core.SiteReport) []*minij.Method {
+	roots := []*minij.Method{siteRep.Site.Method}
+	for _, ch := range siteRep.Chains {
+		roots = append(roots, callgraph.MethodsOnPath(ch, siteRep.Site.Method)...)
+	}
+	reach := g.Reachable(roots)
+	out := make([]*minij.Method, 0, len(reach))
+	for m := range reach {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// siteFingerprint hashes one (semantic × site) static job: the checker
+// formula, the target statement and slot operands, the caller-chain slice
+// of the call graph, and the canonical AST of every method the stage can
+// read. occ disambiguates canonically identical target statements within
+// the same method.
+func siteFingerprint(e *core.Engine, semFP string, siteRep *core.SiteReport, closure []*minij.Method, occ int) string {
+	site := siteRep.Site
+	binds := make([]string, 0, len(site.Bindings))
+	for slot, expr := range site.Bindings {
+		binds = append(binds, slot+"="+minij.CanonExpr(expr))
+	}
+	sort.Strings(binds)
+	parts := []string{
+		"site", semFP, staticEngineFP(e),
+		fmt.Sprintf("occ=%d binderr=%v", occ, site.BindErr != nil),
+		minij.CanonStmt(site.Stmt),
+		strings.Join(binds, ","),
+		fmt.Sprintf("truncated=%v", siteRep.TreeTruncated),
+	}
+	for _, ch := range siteRep.Chains {
+		parts = append(parts, ch.String())
+	}
+	for _, m := range closure {
+		parts = append(parts, minij.FormatMethod(m))
+	}
+	return hashParts(parts...)
+}
+
+// dynamicFingerprint hashes one per-semantic replay job. Replayed tests
+// execute arbitrary system code, so the whole system program participates,
+// along with the semantic's site fingerprints (replay attributes hits to
+// those static paths) and the test corpus.
+func dynamicFingerprint(e *core.Engine, semFP, progFP, corpusFP string, siteFPs []string) string {
+	parts := []string{"dyn", semFP, dynamicEngineFP(e), progFP, corpusFP}
+	parts = append(parts, siteFPs...)
+	return hashParts(parts...)
+}
+
+// structuralFingerprint hashes a structural job: the rule plus the whole
+// system program it scans (and the corpus, for runtime confirmation).
+func structuralFingerprint(semFP, progFP, corpusFP string) string {
+	return hashParts("structural", semFP, progFP, corpusFP)
+}

@@ -1,0 +1,337 @@
+// Package sched turns an engine assertion run into schedulable jobs: a
+// planner decomposes Engine.Assert into independent (semantic × site)
+// static jobs, per-semantic replay jobs, and structural jobs; a worker
+// pool fans them out across goroutines and merges results back in registry
+// order, byte-identical to the sequential run; a fingerprint cache serves
+// unchanged jobs from previous runs; and a dirty-set computer maps a
+// proposed change (diffutil + callgraph) to the jobs it can reach, so an
+// incremental CI gate re-asserts only what the diff impacts.
+package sched
+
+import (
+	"runtime"
+	"sync"
+
+	"lisa/internal/contract"
+	"lisa/internal/core"
+	"lisa/internal/minij"
+	"lisa/internal/ticket"
+)
+
+// Options configure one scheduled assertion run.
+type Options struct {
+	// Workers is the pool width; 0 or negative means GOMAXPROCS.
+	Workers int
+	// Incremental computes a dirty set against BaseSource and reports which
+	// jobs the change impacts; unimpacted jobs are served from cache when
+	// present.
+	Incremental bool
+	// BaseSource is the pre-change system source the dirty set diffs
+	// against (typically ci.Change.OldSource).
+	BaseSource string
+}
+
+// Stats describes what one scheduled run did: the job breakdown, how much
+// executed versus served from cache, and the dirty-set classification.
+type Stats struct {
+	Workers int
+	// Jobs counts planned jobs; Executed + CacheHits == Jobs.
+	Jobs      int
+	Executed  int
+	CacheHits int
+	// Per-kind breakdown of planned jobs.
+	StructuralJobs int
+	SiteJobs       int
+	DynamicJobs    int
+	// ImpactedJobs counts jobs the dirty set classified as reachable from
+	// the change (equal to Jobs on non-incremental runs).
+	ImpactedJobs int
+	// AssertedSemantics/SkippedSemantics partition the registry: a
+	// semantic is skipped when every one of its jobs was served from
+	// cache, i.e. the gate re-used its previous verdicts wholesale.
+	AssertedSemantics int
+	SkippedSemantics  int
+	// DirtyMethods lists the changed methods (incremental runs).
+	DirtyMethods []string
+	// DirtyAll marks a change that could not be localized to method bodies.
+	DirtyAll bool
+}
+
+// Scheduler executes assertion runs over a persistent fingerprint cache.
+// One scheduler is meant to live as long as its registry does (e.g. for
+// the lifetime of a CI gate), accumulating cache entries across runs.
+type Scheduler struct {
+	cache *Cache
+}
+
+// New returns a scheduler with an empty cache.
+func New() *Scheduler { return &Scheduler{cache: NewCache()} }
+
+// Cache exposes the scheduler's fingerprint cache (for stats).
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+type jobKind int
+
+const (
+	jobStructural jobKind = iota
+	jobSite
+	jobDynamic
+)
+
+// job is one schedulable unit of assertion work.
+type job struct {
+	kind jobKind
+	sem  *contract.Semantic
+	// sr is the semantic report the job contributes to (structural jobs
+	// produce their own).
+	sr *core.SemanticReport
+	// siteRep is the site under work (site jobs only), pre-seeded with the
+	// execution-tree chains by the planner.
+	siteRep *core.SiteReport
+	// closure is the site job's read closure (for dirty-set impact).
+	closure []*minij.Method
+	fp      string
+	// impacted records the dirty-set classification (true on cold runs).
+	impacted bool
+
+	cacheHit bool
+	executed bool
+	testsRun int
+	tm       core.StageTimings
+}
+
+// semPlan groups one semantic's jobs.
+type semPlan struct {
+	sem        *contract.Semantic
+	sr         *core.SemanticReport
+	structural *job
+	sites      []*job
+	dynamic    *job
+}
+
+// Assert runs every registered contract of e over source, scheduling the
+// work across a worker pool and serving unchanged jobs from the cache. The
+// merged report is byte-identical (per core.AssertReport.Render) to what
+// the sequential Engine.Assert produces for the same inputs.
+func (s *Scheduler) Assert(e *core.Engine, source string, tests []ticket.TestCase, opts Options) (*core.AssertReport, *Stats, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tm := core.StageTimings{}
+	ctx, err := e.Prepare(source, tests, tm)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{Workers: workers}
+
+	var dirty *Dirty
+	if opts.Incremental && opts.BaseSource != "" {
+		tm.Time("dirty-set", func() { dirty = ComputeDirty(opts.BaseSource, source) })
+		stats.DirtyAll = dirty.All
+		stats.DirtyMethods = dirty.SortedMethods()
+	}
+
+	var plans []*semPlan
+	tm.Time("plan", func() { plans = s.plan(e, ctx, dirty) })
+
+	// Wave 1: structural checks and per-site static stages — fully
+	// independent. Wave 2: per-semantic replay, which reads every site
+	// result of its semantic.
+	var wave1, wave2 []*job
+	for _, sp := range plans {
+		if sp.structural != nil {
+			wave1 = append(wave1, sp.structural)
+		}
+		wave1 = append(wave1, sp.sites...)
+		if sp.dynamic != nil {
+			wave2 = append(wave2, sp.dynamic)
+		}
+	}
+	runPool(wave1, workers, func(j *job) { s.runJob(e, ctx, j) })
+	runPool(wave2, workers, func(j *job) { s.runJob(e, ctx, j) })
+
+	// Deterministic merge: registry order, site order, with per-job stage
+	// timings folded back into the run totals.
+	report := &core.AssertReport{StageTimings: tm, StaticOnly: len(tests) == 0}
+	for _, sp := range plans {
+		jobs := sp.jobs()
+		executed := 0
+		for _, j := range jobs {
+			tm.AddAll(j.tm)
+			stats.Jobs++
+			if j.impacted {
+				stats.ImpactedJobs++
+			}
+			if j.cacheHit {
+				stats.CacheHits++
+			} else {
+				stats.Executed++
+			}
+			if j.executed {
+				executed++
+			}
+			switch j.kind {
+			case jobStructural:
+				stats.StructuralJobs++
+			case jobSite:
+				stats.SiteJobs++
+			case jobDynamic:
+				stats.DynamicJobs++
+			}
+		}
+		if len(jobs) > 0 && executed == 0 {
+			stats.SkippedSemantics++
+		} else {
+			stats.AssertedSemantics++
+		}
+		sr := sp.sr
+		if sp.structural != nil {
+			sr = sp.structural.sr
+		}
+		if sp.dynamic != nil {
+			report.TestsRun += sp.dynamic.testsRun
+		}
+		report.Absorb(sr)
+	}
+	return report, stats, nil
+}
+
+func (sp *semPlan) jobs() []*job {
+	var out []*job
+	if sp.structural != nil {
+		out = append(out, sp.structural)
+	}
+	out = append(out, sp.sites...)
+	if sp.dynamic != nil {
+		out = append(out, sp.dynamic)
+	}
+	return out
+}
+
+// plan decomposes the registry into jobs with fingerprints. Site matching
+// and execution trees are computed here (they are cheap and their outputs
+// participate in the fingerprints); the expensive stages — path
+// enumeration with SMT verdicts, structural scans, concolic replay — are
+// deferred to the jobs.
+func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty) []*semPlan {
+	progFP := hashParts(minij.FormatProgram(ctx.ProgSys))
+	corpusFP := corpusFingerprint(ctx.Tests)
+	var plans []*semPlan
+	for _, sem := range e.Registry.All() {
+		semFP := semFingerprint(sem)
+		sp := &semPlan{sem: sem}
+		if sem.Kind == contract.StructuralKind {
+			sp.structural = &job{
+				kind:     jobStructural,
+				sem:      sem,
+				fp:       structuralFingerprint(semFP, progFP, corpusFP),
+				impacted: dirty == nil || dirty.Any(),
+			}
+			plans = append(plans, sp)
+			continue
+		}
+		sp.sr = &core.SemanticReport{Semantic: sem}
+		occ := map[string]int{}
+		var siteFPs []string
+		anyImpacted := false
+		for _, site := range e.MatchSites(ctx, sem, nil) {
+			siteRep := e.SiteChains(ctx, site, nil)
+			sp.sr.Sites = append(sp.sr.Sites, siteRep)
+			key := site.Method.FullName() + "\x00" + minij.CanonStmt(site.Stmt)
+			closure := siteClosure(ctx.Graph, siteRep)
+			j := &job{
+				kind:     jobSite,
+				sem:      sem,
+				sr:       sp.sr,
+				siteRep:  siteRep,
+				closure:  closure,
+				fp:       siteFingerprint(e, semFP, siteRep, closure, occ[key]),
+				impacted: dirty == nil || dirty.impactsClosure(closure),
+			}
+			occ[key]++
+			siteFPs = append(siteFPs, j.fp)
+			anyImpacted = anyImpacted || j.impacted
+			sp.sites = append(sp.sites, j)
+		}
+		if len(ctx.Tests) > 0 {
+			sp.dynamic = &job{
+				kind: jobDynamic,
+				sem:  sem,
+				sr:   sp.sr,
+				fp:   dynamicFingerprint(e, semFP, progFP, corpusFP, siteFPs),
+				// Replay executes arbitrary reachable code, so any change
+				// anywhere impacts it.
+				impacted: dirty == nil || dirty.Any() || anyImpacted,
+			}
+		}
+		plans = append(plans, sp)
+	}
+	return plans
+}
+
+// runJob executes or cache-serves one job. Cache hits are re-anchored onto
+// the current run's report objects so downstream stages and rendering
+// always see current sites.
+func (s *Scheduler) runJob(e *core.Engine, ctx *core.AssertContext, j *job) {
+	j.tm = core.StageTimings{}
+	switch j.kind {
+	case jobStructural:
+		if sr, ok := s.cache.getStructural(j.fp); ok {
+			j.sr = sr
+			j.cacheHit = true
+			return
+		}
+		j.sr = e.StructuralReport(ctx, j.sem, j.tm)
+		s.cache.putStructural(j.fp, j.sr)
+		j.executed = true
+	case jobSite:
+		if paths, truncated, ok := s.cache.getSite(j.fp); ok {
+			j.siteRep.Paths = paths
+			j.siteRep.TreeTruncated = truncated
+			j.cacheHit = true
+			return
+		}
+		e.SitePaths(ctx, j.siteRep, j.tm)
+		s.cache.putSite(j.fp, j.siteRep)
+		j.executed = true
+	case jobDynamic:
+		if ov, ok := s.cache.getDynamic(j.fp); ok {
+			applyOverlay(j.sr, ov)
+			j.testsRun = ov.testsRun
+			j.cacheHit = true
+			return
+		}
+		j.testsRun = e.DynamicReplay(ctx, j.sr, j.tm)
+		s.cache.putDynamic(j.fp, extractOverlay(j.sr, j.testsRun))
+		j.executed = true
+	}
+}
+
+// runPool fans jobs out over a fixed-width worker pool. Width 1 degrades
+// to an in-order loop (the deterministic baseline the parallel runs are
+// checked against).
+func runPool(jobs []*job, workers int, run func(*job)) {
+	if workers <= 1 || len(jobs) <= 1 {
+		for _, j := range jobs {
+			run(j)
+		}
+		return
+	}
+	ch := make(chan *job)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				run(j)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
