@@ -22,6 +22,7 @@ import (
 	"lisa/internal/infer"
 	"lisa/internal/interp"
 	"lisa/internal/minij"
+	"lisa/internal/program"
 	"lisa/internal/sched"
 	"lisa/internal/smt"
 	"lisa/internal/ticket"
@@ -284,6 +285,63 @@ func BenchmarkFullAssert(b *testing.B) {
 // BenchmarkMutationSweep runs the guard-weakening mutation experiment
 // (E-M1): every mutant of every head, tests vs semantic assertion.
 func BenchmarkMutationSweep(b *testing.B) { benchExperiment(b, "mutation") }
+
+// BenchmarkSnapshotReuse measures the front-end cost of the E-F1 timeline
+// replay — every version of every corpus case visited once per iteration,
+// each visit needing the parse → resolve → call-graph pipeline. "cold"
+// recompiles per visit (the pre-snapshot behavior of every call site);
+// "warm" serves visits from the snapshot cache, where the pipeline runs
+// exactly once per distinct version — verified by the cache's compile and
+// graph-build counters.
+func BenchmarkSnapshotReuse(b *testing.B) {
+	var visits []string
+	distinct := map[string]bool{}
+	for _, cs := range corpus.Load().Cases {
+		for _, tk := range cs.Tickets {
+			visits = append(visits, tk.BuggySource, tk.FixedSource)
+			distinct[tk.BuggySource] = true
+			distinct[tk.FixedSource] = true
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, src := range visits {
+				prog, err := program.Compile(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g := callgraph.Build(prog); g == nil {
+					b.Fatal("nil graph")
+				}
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := program.NewCache(program.DefaultCapacity)
+		replay := func() {
+			for _, src := range visits {
+				snap, err := cache.Load(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g := snap.Graph(); g == nil {
+					b.Fatal("nil graph")
+				}
+			}
+		}
+		replay() // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			replay()
+		}
+		b.StopTimer()
+		st := cache.Stats()
+		if st.Compiles != uint64(len(distinct)) || st.GraphBuilds != uint64(len(distinct)) {
+			b.Fatalf("front end ran more than once per distinct version: %d compiles, %d graph builds, %d distinct",
+				st.Compiles, st.GraphBuilds, len(distinct))
+		}
+	})
+}
 
 // schedWorkload builds a registry of n contracts over n independent
 // feature replicas — n*2 guarded call sites, each with branching caller

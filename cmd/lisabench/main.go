@@ -17,6 +17,7 @@ import (
 
 	"lisa/internal/corpus"
 	"lisa/internal/experiments"
+	"lisa/internal/program"
 	"lisa/internal/report"
 )
 
@@ -38,6 +39,11 @@ func main() {
 		}
 		if *timings {
 			fmt.Print(tm.Render("Wall clock by experiment"))
+			// Experiments replay the same corpus versions over and over;
+			// the snapshot cache shows how much front-end work was shared.
+			st := program.Stats()
+			fmt.Printf("snapshot cache: %d loads, %d hits, %d distinct versions compiled, %d call graphs built, %d evictions\n",
+				st.Hits+st.Misses, st.Hits, st.Compiles, st.GraphBuilds, st.Evictions)
 		}
 		return
 	}

@@ -11,6 +11,7 @@ import (
 	"lisa/internal/concolic"
 	"lisa/internal/core"
 	"lisa/internal/diffutil"
+	"lisa/internal/program"
 	"lisa/internal/sched"
 	"lisa/internal/ticket"
 )
@@ -75,19 +76,37 @@ func Gate(engine *core.Engine, ch Change, tests []ticket.TestCase) (*Result, err
 // GateWith is Gate with an execution strategy. The decision and findings
 // are identical for every strategy — the scheduler's merged report is
 // byte-compatible with the sequential run — only wall-clock and the
-// asserted/skipped split change.
+// asserted/skipped split change. The proposed change and (when present)
+// the pre-change head are loaded as content-addressed snapshots exactly
+// once, shared by every job of the run: the dirty-set diff, the site
+// fingerprints, and the assertion stages all consume the same compilation.
 func GateWith(engine *core.Engine, ch Change, tests []ticket.TestCase, opts GateOptions) (*Result, error) {
+	newSnap, cerr := program.Load(ch.NewSource)
+	if cerr != nil {
+		// A change that does not compile or resolve is itself a block.
+		return &Result{
+			Pass:     false,
+			Findings: []Finding{{Severity: "BLOCK", Text: fmt.Sprintf("change does not build: system source: %v", cerr)}},
+		}, nil
+	}
+	var base *program.Snapshot
+	if ch.OldSource != "" {
+		// An unloadable base is tolerated: the dirty set then falls back to
+		// the source path, which conservatively marks everything dirty.
+		base, _ = program.Load(ch.OldSource)
+	}
 	var report *core.AssertReport
 	var stats *sched.Stats
 	var err error
 	if opts.Scheduler != nil {
-		report, stats, err = opts.Scheduler.Assert(engine, ch.NewSource, tests, sched.Options{
+		report, stats, err = opts.Scheduler.AssertSnapshot(engine, newSnap, tests, sched.Options{
 			Workers:     opts.Workers,
 			Incremental: opts.Incremental,
+			Base:        base,
 			BaseSource:  ch.OldSource,
 		})
 	} else {
-		report, err = engine.Assert(ch.NewSource, tests)
+		report, err = engine.AssertSnapshot(newSnap, tests)
 	}
 	if err != nil {
 		// A change that does not compile or resolve is itself a block.

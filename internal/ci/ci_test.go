@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"lisa/internal/contract"
-	"lisa/internal/sched"
 	"lisa/internal/core"
+	"lisa/internal/sched"
 	"lisa/internal/ticket"
 )
 

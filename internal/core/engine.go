@@ -18,6 +18,7 @@ import (
 	"lisa/internal/infer"
 	"lisa/internal/interp"
 	"lisa/internal/minij"
+	"lisa/internal/program"
 	"lisa/internal/smt"
 	"lisa/internal/testsel"
 	"lisa/internal/ticket"
@@ -300,6 +301,11 @@ func (r *AssertReport) Violations() []string {
 type AssertContext struct {
 	Source string
 	Tests  []ticket.TestCase
+	// Snapshot is the system version under assertion; SnapshotAll covers
+	// system plus tests. Both are shared, content-addressed compilations —
+	// repeated runs over one version reuse them instead of re-parsing.
+	Snapshot    *program.Snapshot
+	SnapshotAll *program.Snapshot
 	// ProgSys is the system alone (the class inventory); ProgAll is system
 	// plus tests (the analysis program, so statement IDs align between
 	// static and dynamic stages).
@@ -310,6 +316,16 @@ type AssertContext struct {
 	Selector *testsel.Selector
 
 	systemClasses map[string]bool
+}
+
+// MethodCanon returns the canonical text of a method of the analysis
+// program, memoized on the snapshot so fingerprinting the same method
+// across jobs and across runs renders it once.
+func (c *AssertContext) MethodCanon(m *minij.Method) string {
+	if s := c.SnapshotAll.MethodCanon(m.FullName()); s != "" {
+		return s
+	}
+	return minij.FormatMethod(m)
 }
 
 // SystemClass reports whether the named class belongs to the system source
@@ -330,23 +346,38 @@ func (c *AssertContext) IsEntry(m *minij.Method) bool {
 	return true
 }
 
-// Prepare compiles the target source (with and without tests), builds the
-// call graph, and indexes the test corpus — the shared setup every
-// assertion stage depends on.
+// Prepare loads the target source as a shared snapshot (with and without
+// tests), builds the call graph, and indexes the test corpus — the shared
+// setup every assertion stage depends on. Snapshots are memoized by content
+// hash, so replaying a version that was prepared before skips the parse,
+// resolve, and call-graph stages entirely.
 func (e *Engine) Prepare(source string, tests []ticket.TestCase, tm StageTimings) (*AssertContext, error) {
-	ctx := &AssertContext{Source: source, Tests: tests}
-	full := source
-	for _, tc := range tests {
-		full += "\n" + tc.Source
+	var snap *program.Snapshot
+	var err error
+	tm.Time("compile", func() { snap, err = program.Load(source) })
+	if err != nil {
+		return nil, fmt.Errorf("system source: %w", err)
 	}
+	return e.PrepareSnapshot(snap, tests, tm)
+}
+
+// PrepareSnapshot is Prepare for an already-loaded system snapshot (the CI
+// gate loads head and proposed change once and shares them across jobs).
+func (e *Engine) PrepareSnapshot(snap *program.Snapshot, tests []ticket.TestCase, tm StageTimings) (*AssertContext, error) {
+	ctx := &AssertContext{Source: snap.Source(), Snapshot: snap, Tests: tests}
+	ctx.ProgSys = snap.Program()
 	var err error
 	tm.Time("compile", func() {
-		ctx.ProgSys, err = compileSource(source)
-		if err != nil {
-			err = fmt.Errorf("system source: %w", err)
+		if len(tests) == 0 {
+			// No test code: the analysis program is the system program.
+			ctx.SnapshotAll = snap
 			return
 		}
-		ctx.ProgAll, err = compileSource(full)
+		full := snap.Source()
+		for _, tc := range tests {
+			full += "\n" + tc.Source
+		}
+		ctx.SnapshotAll, err = program.Load(full)
 		if err != nil {
 			err = fmt.Errorf("system+tests: %w", err)
 		}
@@ -354,11 +385,12 @@ func (e *Engine) Prepare(source string, tests []ticket.TestCase, tm StageTimings
 	if err != nil {
 		return nil, err
 	}
+	ctx.ProgAll = ctx.SnapshotAll.Program()
 	ctx.systemClasses = map[string]bool{}
 	for _, c := range ctx.ProgSys.Classes {
 		ctx.systemClasses[c.Name] = true
 	}
-	tm.Time("callgraph", func() { ctx.Graph = callgraph.Build(ctx.ProgAll) })
+	tm.Time("callgraph", func() { ctx.Graph = ctx.SnapshotAll.Graph() })
 	tm.Time("test-index", func() { ctx.Selector = testsel.New(tests) })
 	return ctx, nil
 }
@@ -519,7 +551,22 @@ func (e *Engine) Assert(source string, tests []ticket.TestCase) (*AssertReport, 
 	if err != nil {
 		return nil, err
 	}
-	report := &AssertReport{StageTimings: tm, StaticOnly: len(tests) == 0}
+	return e.assertOver(ctx, tm), nil
+}
+
+// AssertSnapshot is Assert over an already-loaded program snapshot.
+func (e *Engine) AssertSnapshot(snap *program.Snapshot, tests []ticket.TestCase) (*AssertReport, error) {
+	tm := StageTimings{}
+	ctx, err := e.PrepareSnapshot(snap, tests, tm)
+	if err != nil {
+		return nil, err
+	}
+	return e.assertOver(ctx, tm), nil
+}
+
+// assertOver runs the sequential stage loop over a prepared context.
+func (e *Engine) assertOver(ctx *AssertContext, tm StageTimings) *AssertReport {
+	report := &AssertReport{StageTimings: tm, StaticOnly: len(ctx.Tests) == 0}
 	for _, sem := range e.Registry.All() {
 		var sr *SemanticReport
 		if sem.Kind == contract.StructuralKind {
@@ -533,7 +580,7 @@ func (e *Engine) Assert(source string, tests []ticket.TestCase) (*AssertReport, 
 		}
 		report.Absorb(sr)
 	}
-	return report, nil
+	return report
 }
 
 // confirmStructural replays the test suite under the runtime blocking
@@ -642,17 +689,6 @@ func containsString(xs []string, s string) bool {
 		}
 	}
 	return false
-}
-
-func compileSource(src string) (*minij.Program, error) {
-	prog, err := minij.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	if err := minij.Check(prog); err != nil {
-		return nil, err
-	}
-	return prog, nil
 }
 
 // SortedStageNames returns the timing keys in deterministic order.

@@ -11,6 +11,7 @@ import (
 	"lisa/internal/infer"
 	"lisa/internal/interp"
 	"lisa/internal/minij"
+	"lisa/internal/program"
 	"lisa/internal/report"
 	"lisa/internal/smt"
 	"lisa/internal/ticket"
@@ -286,17 +287,16 @@ func runLatestScan(c *ticket.Corpus, caseID, ruleDesc string) string {
 	return t.Render()
 }
 
-// compileQuiet parses and resolves, returning an error instead of test
-// helpers' fatals.
+// compileQuiet loads a version through the shared snapshot cache,
+// returning an error instead of test helpers' fatals. Experiment replays
+// therefore share front-end work with the engine (which loads the same
+// versions through the same cache) instead of holding private ASTs.
 func compileQuiet(src string) (*minij.Program, error) {
-	prog, err := minij.Parse(src)
+	snap, err := program.Load(src)
 	if err != nil {
 		return nil, err
 	}
-	if err := minij.Check(prog); err != nil {
-		return nil, err
-	}
-	return prog, nil
+	return snap.Program(), nil
 }
 
 // naiveVerdict is the ablation comparator for the complement check: it

@@ -4,6 +4,7 @@ import (
 	"lisa/internal/core"
 	"lisa/internal/interp"
 	"lisa/internal/minij"
+	"lisa/internal/program"
 	"lisa/internal/report"
 	"lisa/internal/ticket"
 )
@@ -57,8 +58,9 @@ func MutateGuards(cs *ticket.Case, relevantRoots map[string]bool) []GuardMutant 
 	}
 	var out []GuardMutant
 	for _, tgt := range targets {
-		// Re-parse for a fresh mutable AST.
-		prog, err := compileQuiet(head)
+		// Re-compile for a fresh, caller-owned mutable AST — deliberately
+		// NOT a shared snapshot, which must never be mutated.
+		prog, err := program.Compile(head)
 		if err != nil {
 			continue
 		}

@@ -24,6 +24,7 @@ import (
 	"lisa/internal/concolic"
 	"lisa/internal/contract"
 	"lisa/internal/minij"
+	"lisa/internal/program"
 	"lisa/internal/smt"
 	"lisa/internal/ticket"
 )
@@ -121,15 +122,15 @@ func (pa *PatchAnalyzer) Infer(tk *ticket.Ticket) (*Result, error) {
 	return res, nil
 }
 
+// compile loads a ticket version through the shared snapshot cache:
+// replaying the corpus re-infers from the same buggy/fixed pairs many
+// times, and every pass after the first is a front-end cache hit.
 func compile(src string) (*minij.Program, error) {
-	prog, err := minij.Parse(src)
+	snap, err := program.Load(src)
 	if err != nil {
 		return nil, err
 	}
-	if err := minij.Check(prog); err != nil {
-		return nil, err
-	}
-	return prog, nil
+	return snap.Program(), nil
 }
 
 // changedMethods returns the fixed-version methods whose bodies differ from

@@ -1,0 +1,316 @@
+// Package program provides immutable, content-addressed snapshots of one
+// program version. A Snapshot owns the whole front-end pipeline for its
+// source — parse → resolve → canonical print/hash → call graph — computed
+// once and memoized, so every layer that replays the same version (the
+// engine's Prepare, the scheduler's fingerprints and dirty sets, the CI
+// gate, the corpus-replay experiments) shares one compilation instead of
+// re-doing the front-end work per call site.
+//
+// Snapshots are keyed by the sha256 of their raw source and served from a
+// bounded, process-wide LRU (package-level Load) or from a private Cache.
+// Everything a Snapshot exposes is computed lazily at most once and is
+// read-only from then on; Verify detects a caller that mutated the shared
+// AST in spite of the contract. Callers that need a mutable AST (e.g. the
+// mutation experiments) use Compile, which returns a fresh, caller-owned
+// program that never touches the cache.
+package program
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lisa/internal/callgraph"
+	"lisa/internal/minij"
+)
+
+// DefaultCapacity is the entry bound of the process-wide cache: large
+// enough to hold every distinct version of the corpus replay sweeps
+// (heads, buggy/fixed pairs, and mutants with their test combinations).
+const DefaultCapacity = 512
+
+// Snapshot is one immutable program version. The zero value is not usable;
+// snapshots are created by a Cache (shared, content-addressed) or not at
+// all — Compile hands out raw programs for callers that must mutate.
+type Snapshot struct {
+	source string
+	hash   string
+	cache  *Cache
+
+	compileOnce sync.Once
+	prog        *minij.Program
+	err         error
+	canon       string
+	canonHash   string
+
+	graphOnce sync.Once
+	graph     *callgraph.Graph
+
+	methodsOnce sync.Once
+	methodCanon map[string]string
+
+	shapeOnce sync.Once
+	shape     string
+}
+
+// Hash returns the content address of a source string (sha256, hex).
+func Hash(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:])
+}
+
+// Source returns the raw source text the snapshot was loaded from.
+func (s *Snapshot) Source() string { return s.source }
+
+// Hash returns the snapshot's content address: sha256 of the raw source.
+func (s *Snapshot) Hash() string { return s.hash }
+
+// Program returns the parsed and resolved program. The AST is shared by
+// every holder of this snapshot and must not be mutated; use Compile for a
+// private mutable copy.
+func (s *Snapshot) Program() *minij.Program { return s.prog }
+
+// Canon returns the canonical pretty-printing of the program — whitespace
+// and formatting independent, so two reformattings of one program share it.
+func (s *Snapshot) Canon() string { return s.canon }
+
+// CanonHash returns the content address of the canonical form. This is the
+// identity fingerprint callers hash into cache keys: it is stable across
+// reformatting, unlike Hash.
+func (s *Snapshot) CanonHash() string { return s.canonHash }
+
+// Graph returns the call graph, built on first use and memoized.
+func (s *Snapshot) Graph() *callgraph.Graph {
+	s.graphOnce.Do(func() {
+		if s.prog == nil {
+			return
+		}
+		if s.cache != nil {
+			s.cache.graphBuilds.Add(1)
+		}
+		s.graph = callgraph.Build(s.prog)
+	})
+	return s.graph
+}
+
+// MethodCanon returns the canonical text of the named method
+// ("Class.method"), or "" when no such method exists. The per-method
+// renderings are built once and reused by every fingerprint and dirty-set
+// computation over this version.
+func (s *Snapshot) MethodCanon(fullName string) string {
+	s.methodsOnce.Do(func() {
+		m := map[string]string{}
+		if s.prog != nil {
+			for _, method := range s.prog.Methods() {
+				m[method.FullName()] = minij.FormatMethod(method)
+			}
+		}
+		s.methodCanon = m
+	})
+	return s.methodCanon[fullName]
+}
+
+// Shape returns the program's declaration skeleton: class names, fields,
+// and method signatures, without bodies. Two versions with equal shape
+// differ at most in method bodies, so resolution context outside a changed
+// body is preserved — the dirty-set localization precondition.
+func (s *Snapshot) Shape() string {
+	s.shapeOnce.Do(func() {
+		if s.prog == nil {
+			return
+		}
+		s.shape = classShape(s.prog)
+	})
+	return s.shape
+}
+
+// Verify checks the immutability contract: it re-renders the shared AST
+// and compares it against the canonical form captured at compile time. A
+// non-nil error means some holder mutated the snapshot's program.
+func (s *Snapshot) Verify() error {
+	if s.err != nil {
+		return s.err
+	}
+	if got := minij.FormatProgram(s.prog); got != s.canon {
+		return fmt.Errorf("program: snapshot %.12s mutated: canonical AST drifted from its content address", s.hash)
+	}
+	return nil
+}
+
+// build runs the compile stage exactly once per snapshot.
+func (s *Snapshot) build() {
+	if s.cache != nil {
+		s.cache.compiles.Add(1)
+	}
+	prog, err := minij.Parse(s.source)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if err := minij.Check(prog); err != nil {
+		s.err = err
+		return
+	}
+	s.prog = prog
+	s.canon = minij.FormatProgram(prog)
+	s.canonHash = Hash(s.canon)
+}
+
+func classShape(p *minij.Program) string {
+	var sb strings.Builder
+	for _, c := range p.Classes {
+		sb.WriteString("class ")
+		sb.WriteString(c.Name)
+		sb.WriteByte('\n')
+		for _, f := range c.Fields {
+			fmt.Fprintf(&sb, "  field %s %s\n", f.Type.String(), f.Name)
+		}
+		for _, m := range c.Methods {
+			fmt.Fprintf(&sb, "  method static=%v %s %s(", m.Static, m.Ret.String(), m.Name)
+			for i, p := range m.Params {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "%s %s", p.Type.String(), p.Name)
+			}
+			sb.WriteString(")\n")
+		}
+	}
+	return sb.String()
+}
+
+// Cache is a bounded LRU of snapshots keyed on source content hash. All
+// methods are safe for concurrent use; concurrent Loads of one source
+// compile it once and share the identical snapshot. Failed compiles are
+// cached too (negative entries), so replay sweeps that probe versions a
+// test cannot build against do not re-parse the failure every pass.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // hash → element; Value is *Snapshot
+	order    *list.List               // front = most recently used
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+
+	compiles    atomic.Uint64
+	graphBuilds atomic.Uint64
+}
+
+// NewCache returns an empty cache bounded to capacity entries
+// (DefaultCapacity when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+	}
+}
+
+// Load returns the snapshot for source, compiling it at most once per
+// residency. The error (a parse or resolution failure) is the same on every
+// load of the same bad source.
+func (c *Cache) Load(source string) (*Snapshot, error) {
+	h := Hash(source)
+	c.mu.Lock()
+	if el, ok := c.entries[h]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		snap := el.Value.(*Snapshot)
+		c.mu.Unlock()
+		// A concurrent loader may have inserted the entry and not finished
+		// compiling; Do blocks until the one compile completes.
+		snap.compileOnce.Do(snap.build)
+		return snap.result()
+	}
+	c.misses++
+	snap := &Snapshot{source: source, hash: h, cache: c}
+	c.entries[h] = c.order.PushFront(snap)
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*Snapshot).hash)
+		c.evictions++
+	}
+	c.mu.Unlock()
+	snap.compileOnce.Do(snap.build)
+	return snap.result()
+}
+
+func (s *Snapshot) result() (*Snapshot, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s, nil
+}
+
+// CacheStats is a point-in-time counter snapshot. Compiles counts actual
+// parse+resolve executions — on a warm replay it equals the number of
+// distinct versions, however many times each was loaded. GraphBuilds
+// likewise counts call-graph constructions (at most one per snapshot).
+type CacheStats struct {
+	Entries     int
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Compiles    uint64
+	GraphBuilds uint64
+}
+
+// Stats returns cumulative counters and the current entry count.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:     c.order.Len(),
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Compiles:    c.compiles.Load(),
+		GraphBuilds: c.graphBuilds.Load(),
+	}
+}
+
+// Hashes lists the resident snapshot hashes, most recently used first
+// (for introspection and eviction-determinism tests).
+func (c *Cache) Hashes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Snapshot).hash)
+	}
+	return out
+}
+
+// defaultCache is the process-wide snapshot store shared by the engine,
+// scheduler, gate, and experiment harnesses.
+var defaultCache = NewCache(DefaultCapacity)
+
+// Load serves source from the process-wide cache.
+func Load(source string) (*Snapshot, error) { return defaultCache.Load(source) }
+
+// Stats reports the process-wide cache counters.
+func Stats() CacheStats { return defaultCache.Stats() }
+
+// Compile parses and resolves source into a fresh, caller-owned program,
+// bypassing the cache. Use it when the AST will be mutated (snapshots are
+// shared and must stay immutable).
+func Compile(source string) (*minij.Program, error) {
+	prog, err := minij.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	if err := minij.Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}

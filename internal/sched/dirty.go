@@ -1,19 +1,18 @@
 package sched
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
 	"lisa/internal/diffutil"
 	"lisa/internal/minij"
+	"lisa/internal/program"
 )
 
 // Dirty is the impact set of one proposed change: the methods whose
 // behavior the change can affect. The incremental gate uses it to report
 // which jobs the diff can reach; jobs outside the set are candidates for
 // cache service. The classification is conservative: anything the analysis
-// cannot localize (parse failures, class/field/signature changes, which
+// cannot localize (compile failures, class/field/signature changes, which
 // can reshape resolution and the call graph arbitrarily) marks everything
 // dirty.
 type Dirty struct {
@@ -28,7 +27,9 @@ type Dirty struct {
 
 // ComputeDirty diffs two versions of a system source and localizes the
 // change to method bodies. Whitespace-only edits produce an empty set:
-// method identity is canonical AST text, not source text.
+// method identity is canonical AST text, not source text. Both versions
+// are loaded through the snapshot cache, so the front-end work is shared
+// with the assertion run (the new source) and the previous gate (the old).
 func ComputeDirty(oldSource, newSource string) *Dirty {
 	d := &Dirty{Methods: map[string]bool{}}
 	edits := diffutil.Diff(oldSource, newSource)
@@ -36,53 +37,43 @@ func ComputeDirty(oldSource, newSource string) *Dirty {
 	if !diffutil.Changed(edits) {
 		return d
 	}
-	oldProg, errOld := minij.Parse(oldSource)
-	newProg, errNew := minij.Parse(newSource)
+	oldSnap, errOld := program.Load(oldSource)
+	newSnap, errNew := program.Load(newSource)
 	if errOld != nil || errNew != nil {
 		d.All = true
 		return d
 	}
-	if classShape(oldProg) != classShape(newProg) {
-		d.All = true
-		return d
-	}
-	old := map[string]string{}
-	for _, m := range oldProg.Methods() {
-		old[m.FullName()] = minij.FormatMethod(m)
-	}
-	for _, m := range newProg.Methods() {
-		if old[m.FullName()] != minij.FormatMethod(m) {
-			d.Methods[m.FullName()] = true
-		}
-	}
+	localizeDirty(d, oldSnap, newSnap)
 	return d
 }
 
-// classShape renders the program's declaration skeleton: class names,
-// fields, and method signatures, without bodies. Two programs with equal
-// shape differ at most in method bodies, so resolution context outside a
-// changed body is preserved.
-func classShape(p *minij.Program) string {
-	var sb strings.Builder
-	for _, c := range p.Classes {
-		sb.WriteString("class ")
-		sb.WriteString(c.Name)
-		sb.WriteByte('\n')
-		for _, f := range c.Fields {
-			fmt.Fprintf(&sb, "  field %s %s\n", f.Type.String(), f.Name)
-		}
-		for _, m := range c.Methods {
-			fmt.Fprintf(&sb, "  method static=%v %s %s(", m.Static, m.Ret.String(), m.Name)
-			for i, p := range m.Params {
-				if i > 0 {
-					sb.WriteByte(',')
-				}
-				fmt.Fprintf(&sb, "%s %s", p.Type.String(), p.Name)
-			}
-			sb.WriteString(")\n")
+// ComputeDirtySnapshots is ComputeDirty over pre-loaded snapshots (the
+// gate's path: head and proposed change are loaded once and shared).
+func ComputeDirtySnapshots(old, new *program.Snapshot) *Dirty {
+	d := &Dirty{Methods: map[string]bool{}}
+	edits := diffutil.Diff(old.Source(), new.Source())
+	d.Stat = diffutil.DiffStats(edits)
+	if !diffutil.Changed(edits) {
+		return d
+	}
+	localizeDirty(d, old, new)
+	return d
+}
+
+// localizeDirty compares two compiled versions: an unchanged declaration
+// skeleton localizes the diff to the method bodies whose memoized canonical
+// text differs; a reshaped skeleton marks everything dirty.
+func localizeDirty(d *Dirty, old, new *program.Snapshot) {
+	if old.Shape() != new.Shape() {
+		d.All = true
+		return
+	}
+	for _, m := range new.Program().Methods() {
+		name := m.FullName()
+		if old.MethodCanon(name) != new.MethodCanon(name) {
+			d.Methods[name] = true
 		}
 	}
-	return sb.String()
 }
 
 // Any reports whether the change affects anything at all.

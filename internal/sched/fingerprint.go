@@ -119,9 +119,10 @@ func siteClosure(g *callgraph.Graph, siteRep *core.SiteReport) []*minij.Method {
 // siteFingerprint hashes one (semantic × site) static job: the checker
 // formula, the target statement and slot operands, the caller-chain slice
 // of the call graph, and the canonical AST of every method the stage can
-// read. occ disambiguates canonically identical target statements within
-// the same method.
-func siteFingerprint(e *core.Engine, semFP string, siteRep *core.SiteReport, closure []*minij.Method, occ int) string {
+// read (served from the snapshot's memoized per-method renderings). occ
+// disambiguates canonically identical target statements within the same
+// method.
+func siteFingerprint(e *core.Engine, ctx *core.AssertContext, semFP string, siteRep *core.SiteReport, closure []*minij.Method, occ int) string {
 	site := siteRep.Site
 	binds := make([]string, 0, len(site.Bindings))
 	for slot, expr := range site.Bindings {
@@ -139,7 +140,7 @@ func siteFingerprint(e *core.Engine, semFP string, siteRep *core.SiteReport, clo
 		parts = append(parts, ch.String())
 	}
 	for _, m := range closure {
-		parts = append(parts, minij.FormatMethod(m))
+		parts = append(parts, ctx.MethodCanon(m))
 	}
 	return hashParts(parts...)
 }

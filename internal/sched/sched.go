@@ -15,6 +15,7 @@ import (
 	"lisa/internal/contract"
 	"lisa/internal/core"
 	"lisa/internal/minij"
+	"lisa/internal/program"
 	"lisa/internal/ticket"
 )
 
@@ -22,12 +23,16 @@ import (
 type Options struct {
 	// Workers is the pool width; 0 or negative means GOMAXPROCS.
 	Workers int
-	// Incremental computes a dirty set against BaseSource and reports which
-	// jobs the change impacts; unimpacted jobs are served from cache when
-	// present.
+	// Incremental computes a dirty set against Base/BaseSource and reports
+	// which jobs the change impacts; unimpacted jobs are served from cache
+	// when present.
 	Incremental bool
-	// BaseSource is the pre-change system source the dirty set diffs
-	// against (typically ci.Change.OldSource).
+	// Base is the pre-change system snapshot the dirty set diffs against
+	// (the gate loads it once and shares it). When nil, BaseSource is
+	// loaded through the snapshot cache instead.
+	Base *program.Snapshot
+	// BaseSource is the pre-change system source (typically
+	// ci.Change.OldSource); used when Base is nil.
 	BaseSource string
 }
 
@@ -114,20 +119,42 @@ type semPlan struct {
 // merged report is byte-identical (per core.AssertReport.Render) to what
 // the sequential Engine.Assert produces for the same inputs.
 func (s *Scheduler) Assert(e *core.Engine, source string, tests []ticket.TestCase, opts Options) (*core.AssertReport, *Stats, error) {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	tm := core.StageTimings{}
 	ctx, err := e.Prepare(source, tests, tm)
 	if err != nil {
 		return nil, nil, err
 	}
+	return s.assertContext(e, ctx, tm, opts)
+}
+
+// AssertSnapshot is Assert over an already-loaded system snapshot (the CI
+// gate's path: head and proposed change are loaded once and shared across
+// every job of the run).
+func (s *Scheduler) AssertSnapshot(e *core.Engine, snap *program.Snapshot, tests []ticket.TestCase, opts Options) (*core.AssertReport, *Stats, error) {
+	tm := core.StageTimings{}
+	ctx, err := e.PrepareSnapshot(snap, tests, tm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.assertContext(e, ctx, tm, opts)
+}
+
+func (s *Scheduler) assertContext(e *core.Engine, ctx *core.AssertContext, tm core.StageTimings, opts Options) (*core.AssertReport, *Stats, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	stats := &Stats{Workers: workers}
 
 	var dirty *Dirty
-	if opts.Incremental && opts.BaseSource != "" {
-		tm.Time("dirty-set", func() { dirty = ComputeDirty(opts.BaseSource, source) })
+	if opts.Incremental && (opts.Base != nil || opts.BaseSource != "") {
+		tm.Time("dirty-set", func() {
+			if opts.Base != nil {
+				dirty = ComputeDirtySnapshots(opts.Base, ctx.Snapshot)
+			} else {
+				dirty = ComputeDirty(opts.BaseSource, ctx.Source)
+			}
+		})
 		stats.DirtyAll = dirty.All
 		stats.DirtyMethods = dirty.SortedMethods()
 	}
@@ -153,7 +180,7 @@ func (s *Scheduler) Assert(e *core.Engine, source string, tests []ticket.TestCas
 
 	// Deterministic merge: registry order, site order, with per-job stage
 	// timings folded back into the run totals.
-	report := &core.AssertReport{StageTimings: tm, StaticOnly: len(tests) == 0}
+	report := &core.AssertReport{StageTimings: tm, StaticOnly: len(ctx.Tests) == 0}
 	for _, sp := range plans {
 		jobs := sp.jobs()
 		executed := 0
@@ -215,7 +242,9 @@ func (sp *semPlan) jobs() []*job {
 // enumeration with SMT verdicts, structural scans, concolic replay — are
 // deferred to the jobs.
 func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty) []*semPlan {
-	progFP := hashParts(minij.FormatProgram(ctx.ProgSys))
+	// The system program's identity is the snapshot's canonical content
+	// address — memoized, so a warm replay never re-renders the program.
+	progFP := ctx.Snapshot.CanonHash()
 	corpusFP := corpusFingerprint(ctx.Tests)
 	var plans []*semPlan
 	for _, sem := range e.Registry.All() {
@@ -246,7 +275,7 @@ func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty) 
 				sr:       sp.sr,
 				siteRep:  siteRep,
 				closure:  closure,
-				fp:       siteFingerprint(e, semFP, siteRep, closure, occ[key]),
+				fp:       siteFingerprint(e, ctx, semFP, siteRep, closure, occ[key]),
 				impacted: dirty == nil || dirty.impactsClosure(closure),
 			}
 			occ[key]++
