@@ -379,6 +379,12 @@ func runGate(args []string) error {
 	summary := fs.String("summary", "proposed change", "change summary for the gate log")
 	workers := fs.Int("workers", 1, "scheduler pool width; 1 = sequential engine, 0 = GOMAXPROCS")
 	incremental := fs.Bool("incremental", false, "prime the fingerprint cache on the current head, then gate only what the change impacts")
+	failClosed := fs.Bool("fail-closed", true, "block the change when any contract's assertion is INCONCLUSIVE (degraded by a deadline, budget, or contained crash)")
+	failOpen := fs.Bool("fail-open", false, "downgrade INCONCLUSIVE outcomes to warnings and let the change pass; overrides -fail-closed")
+	runTimeout := fs.Duration("run-timeout", 0, "wall-clock deadline for the whole assertion run (0 = none)")
+	jobTimeout := fs.Duration("job-timeout", 0, "deadline per assertion job (0 = none)")
+	solverNodes := fs.Int("solver-nodes", 0, "DPLL node ceiling per SMT query (0 = default)")
+	stepBudget := fs.Int("step-budget", 0, "interpreter statement ceiling per test replay (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -394,12 +400,18 @@ func runGate(args []string) error {
 		return err
 	}
 	e := core.New()
+	e.Budget = core.Budget{
+		RunTimeout:  *runTimeout,
+		JobTimeout:  *jobTimeout,
+		SolverNodes: *solverNodes,
+		StepBudget:  *stepBudget,
+	}
 	for _, tk := range cs.Tickets {
 		if _, err := e.ProcessTicket(tk); err != nil {
 			return err
 		}
 	}
-	opts := ci.GateOptions{Workers: *workers, Incremental: *incremental}
+	opts := ci.GateOptions{Workers: *workers, Incremental: *incremental, FailOpen: *failOpen || !*failClosed}
 	if *workers != 1 || *incremental {
 		opts.Scheduler = sched.New()
 	}

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	lisabench [-exp study|timeline|ephemeral|comparison|workflow|
-//	                generalize|hbase|hdfs|reliability|compose|ablations|all]
-//	          [-timings=false]
+//	                generalize|hbase|hdfs|reliability|compose|ablations|
+//	                chaos|all]
+//	          [-timings=false] [-seed N]
 package main
 
 import (
@@ -24,7 +25,10 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (use 'all' for every experiment); one of "+experiments.Names())
 	timings := flag.Bool("timings", true, "print the per-experiment wall-clock ledger after a full run")
+	seed := flag.Int64("seed", 1, "deterministic seed for seeded experiments (chaos fault plan)")
 	flag.Parse()
+
+	experiments.ChaosSeed = *seed
 
 	c := corpus.Load()
 	if *exp == "all" {

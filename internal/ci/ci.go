@@ -5,6 +5,7 @@
 package ci
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -62,6 +63,20 @@ type GateOptions struct {
 	Workers int
 	// Incremental computes the dirty set against Change.OldSource.
 	Incremental bool
+	// FailOpen downgrades INCONCLUSIVE outcomes (contained job failures,
+	// budget-exhausted verdicts, corrupted snapshots) from BLOCK to WARN.
+	// The default — fail closed — blocks: a gate that could not finish
+	// checking a contract must not let the change merge on partial
+	// evidence.
+	FailOpen bool
+}
+
+// inconclusiveSeverity maps the gate policy to a finding severity.
+func inconclusiveSeverity(opts GateOptions) string {
+	if opts.FailOpen {
+		return "WARN"
+	}
+	return "BLOCK"
 }
 
 // Gate asserts every contract in the engine's registry against the changed
@@ -81,7 +96,7 @@ func Gate(engine *core.Engine, ch Change, tests []ticket.TestCase) (*Result, err
 // once, shared by every job of the run: the dirty-set diff, the site
 // fingerprints, and the assertion stages all consume the same compilation.
 func GateWith(engine *core.Engine, ch Change, tests []ticket.TestCase, opts GateOptions) (*Result, error) {
-	newSnap, cerr := program.Load(ch.NewSource)
+	newSnap, cerr := engine.LoadSnapshot(ch.NewSource)
 	if cerr != nil {
 		// A change that does not compile or resolve is itself a block.
 		return &Result{
@@ -93,7 +108,7 @@ func GateWith(engine *core.Engine, ch Change, tests []ticket.TestCase, opts Gate
 	if ch.OldSource != "" {
 		// An unloadable base is tolerated: the dirty set then falls back to
 		// the source path, which conservatively marks everything dirty.
-		base, _ = program.Load(ch.OldSource)
+		base, _ = engine.LoadSnapshot(ch.OldSource)
 	}
 	var report *core.AssertReport
 	var stats *sched.Stats
@@ -109,6 +124,16 @@ func GateWith(engine *core.Engine, ch Change, tests []ticket.TestCase, opts Gate
 		report, err = engine.AssertSnapshot(newSnap, tests)
 	}
 	if err != nil {
+		if errors.Is(err, program.ErrMutated) {
+			// A corrupted snapshot is not the change's fault: the gate
+			// could not evaluate the contracts at all. Policy decides —
+			// fail closed blocks, fail open warns and passes.
+			sev := inconclusiveSeverity(opts)
+			return &Result{
+				Pass:     opts.FailOpen,
+				Findings: []Finding{{Severity: sev, Text: fmt.Sprintf("INCONCLUSIVE: snapshot integrity check failed: %v", err)}},
+			}, nil
+		}
 		// A change that does not compile or resolve is itself a block.
 		return &Result{
 			Pass:     false,
@@ -130,6 +155,12 @@ func GateWith(engine *core.Engine, ch Change, tests []ticket.TestCase, opts Gate
 		res.Findings = append(res.Findings, Finding{Severity: "BLOCK", Text: v})
 	}
 	for _, sr := range report.Semantics {
+		if sr.Outcome() == core.OutcomeInconclusive {
+			res.Findings = append(res.Findings, Finding{
+				Severity: inconclusiveSeverity(opts),
+				Text:     fmt.Sprintf("[%s] INCONCLUSIVE: %s", sr.Semantic.ID, inconclusiveDetail(sr)),
+			})
+		}
 		if !sr.SanityOK {
 			res.Findings = append(res.Findings, Finding{
 				Severity: "WARN",
@@ -171,6 +202,31 @@ func GateWith(engine *core.Engine, ch Change, tests []ticket.TestCase, opts Gate
 	return res, nil
 }
 
+// inconclusiveDetail renders why a semantic's assertion degraded, in
+// deterministic order: contained job failures first (job order), then the
+// count of budget-starved path checks.
+func inconclusiveDetail(sr *core.SemanticReport) string {
+	var parts []string
+	for _, f := range sr.Failures {
+		parts = append(parts, fmt.Sprintf("job %s failed (%s: %s)", f.Job, f.Reason, f.Detail))
+	}
+	starved := 0
+	for _, site := range sr.Sites {
+		for _, p := range site.Paths {
+			if p.Verdict == concolic.VerdictInconclusive {
+				starved++
+			}
+		}
+	}
+	if starved > 0 {
+		parts = append(parts, fmt.Sprintf("%d path check(s) exhausted the solver budget", starved))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "dynamic verdicts degraded")
+	}
+	return strings.Join(parts, "; ")
+}
+
 // Summary renders the gate decision as a short log.
 func (r *Result) Summary() string {
 	var sb strings.Builder
@@ -191,6 +247,9 @@ func (r *Result) Summary() string {
 	if s := r.Sched; s != nil {
 		fmt.Fprintf(&sb, "  jobs: %d total, %d executed, %d cache hits (workers=%d)\n",
 			s.Jobs, s.Executed, s.CacheHits, s.Workers)
+		if s.Failures > 0 {
+			fmt.Fprintf(&sb, "  failures: %d job(s) contained\n", s.Failures)
+		}
 		if s.DirtyAll {
 			sb.WriteString("  dirty: whole program (change not localizable)\n")
 		} else if len(s.DirtyMethods) > 0 {

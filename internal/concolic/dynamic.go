@@ -38,11 +38,18 @@ type SiteHit struct {
 
 // Verdict applies the complement check to this hit.
 func (h *SiteHit) Verdict() Verdict {
+	return h.VerdictLim(smt.Limits{})
+}
+
+// VerdictLim is Verdict under explicit solver limits; a degraded query
+// yields VerdictInconclusive.
+func (h *SiteHit) VerdictLim(lim smt.Limits) Verdict {
 	checker, ok := CheckerFor(h.Site.Semantic, h.Bindings)
 	if !ok {
 		return VerdictUnknown
 	}
-	return CheckPath(h.Cond, checker)
+	v, _ := CheckPathLim(h.Cond, checker, lim)
+	return v
 }
 
 // String renders the hit.

@@ -1,11 +1,13 @@
 package concolic
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"lisa/internal/contract"
+	"lisa/internal/faultinject"
 	"lisa/internal/minij"
 	"lisa/internal/smt"
 )
@@ -60,6 +62,11 @@ type Options struct {
 	// NoPrune disables relevance filtering, so Cond equals FullCond
 	// (the pruning ablation).
 	NoPrune bool
+	// Ctx, when non-nil, is polled during enumeration; cancellation stops
+	// the walk early and reports the result as truncated (callers check
+	// the context themselves to distinguish cancellation from a full
+	// budget).
+	Ctx context.Context
 }
 
 // DefaultMaxPaths bounds path enumeration per site.
@@ -80,6 +87,11 @@ func StaticPaths(prog *minij.Program, site *contract.Site, opts Options) (paths 
 // staticPathsFrom enumerates paths to the site's statement starting from
 // the given seed states (each carrying conditions inherited from callers).
 func staticPathsFrom(prog *minij.Program, site *contract.Site, opts Options, seeds []*sframe) (paths []*StaticPath, truncated bool) {
+	if faultinject.Armed() {
+		if k, ok := faultinject.At("concolic.paths:" + site.Method.FullName()); ok && k == faultinject.Panic {
+			panic("faultinject: concolic.paths " + site.Method.FullName())
+		}
+	}
 	maxPaths := opts.MaxPaths
 	if maxPaths <= 0 {
 		maxPaths = DefaultMaxPaths
@@ -92,6 +104,7 @@ func staticPathsFrom(prog *minij.Program, site *contract.Site, opts Options, see
 			method:   site.Method,
 			targetID: site.Stmt.ID(),
 			maxPaths: maxPaths,
+			ctx:      opts.Ctx,
 			emit:     collector.emit,
 		}
 		w.walkSeq(site.Method.Body.Stmts, 0, seed, walkCtx{}, func(*sframe) {})
@@ -349,23 +362,32 @@ type handler struct {
 }
 
 type staticWalker struct {
-	prog     *minij.Program
-	method   *minij.Method
-	targetID int
-	maxPaths int
-	emit     func(*sframe)
-	emitted  int
-	states   int
-	trunc    bool
+	prog      *minij.Program
+	method    *minij.Method
+	targetID  int
+	maxPaths  int
+	ctx       context.Context
+	emit      func(*sframe)
+	emitted   int
+	states    int
+	trunc     bool
+	cancelled bool
 }
 
 func (w *staticWalker) full() bool {
-	return w.emitted >= w.maxPaths || w.states > w.maxPaths*64
+	return w.cancelled || w.emitted >= w.maxPaths || w.states > w.maxPaths*64
 }
 
 // walkSeq walks stmts[i:], calling k when the sequence completes normally.
 func (w *staticWalker) walkSeq(stmts []minij.Stmt, i int, st *sframe, ctx walkCtx, k func(*sframe)) {
 	w.states++
+	if w.ctx != nil && w.states&255 == 0 {
+		select {
+		case <-w.ctx.Done():
+			w.cancelled = true
+		default:
+		}
+	}
 	if w.full() {
 		w.trunc = true
 		return

@@ -1,6 +1,8 @@
 package concolic
 
 import (
+	"errors"
+
 	"lisa/internal/contract"
 	"lisa/internal/smt"
 )
@@ -20,6 +22,11 @@ const (
 	// VerdictUnknown: slot operands could not be normalized to paths;
 	// the developer must review.
 	VerdictUnknown
+	// VerdictInconclusive: the check itself degraded — the solver ran out
+	// of budget or the run was cancelled — so the path is neither verified
+	// nor violating. Distinct from PASS/VIOLATED by construction: the gate
+	// policy (fail-closed/fail-open) decides how to treat it.
+	VerdictInconclusive
 )
 
 // String names the verdict.
@@ -29,6 +36,8 @@ func (v Verdict) String() string {
 		return "VERIFIED"
 	case VerdictViolation:
 		return "VIOLATION"
+	case VerdictInconclusive:
+		return "INCONCLUSIVE"
 	}
 	return "UNKNOWN"
 }
@@ -51,18 +60,41 @@ func CheckerFor(sem *contract.Semantic, bindings map[string]string) (smt.Formula
 // semantic iff pathCond ∧ ¬checker is satisfiable. Conditions missing from
 // pathCond are unconstrained, so an omitted guard (e.g. a forgotten
 // s.ttl > 0 test) surfaces as a violation rather than passing silently.
+// A solver failure (budget, cancellation) yields VerdictInconclusive.
 func CheckPath(pathCond, checker smt.Formula) Verdict {
-	if smt.SAT(smt.NewAnd(pathCond, smt.Complement(checker))) {
-		return VerdictViolation
+	v, _ := CheckPathLim(pathCond, checker, smt.Limits{})
+	return v
+}
+
+// CheckPathLim is CheckPath under explicit solver limits. Budget
+// exhaustion is an expected degradation and yields (VerdictInconclusive,
+// nil); a context error yields (VerdictInconclusive, err) so the caller
+// can abandon the whole run.
+func CheckPathLim(pathCond, checker smt.Formula, lim smt.Limits) (Verdict, error) {
+	sat, err := smt.SATLim(smt.NewAnd(pathCond, smt.Complement(checker)), lim)
+	if err != nil {
+		if errors.Is(err, smt.ErrBudget) {
+			return VerdictInconclusive, nil
+		}
+		return VerdictInconclusive, err
 	}
-	return VerdictVerified
+	if sat {
+		return VerdictViolation, nil
+	}
+	return VerdictVerified, nil
 }
 
 // CheckStaticPath computes the verdict of one enumerated static path.
 func CheckStaticPath(p *StaticPath) Verdict {
+	v, _ := CheckStaticPathLim(p, smt.Limits{})
+	return v
+}
+
+// CheckStaticPathLim is CheckStaticPath under explicit solver limits.
+func CheckStaticPathLim(p *StaticPath, lim smt.Limits) (Verdict, error) {
 	checker, ok := CheckerFor(p.Site.Semantic, p.Bindings)
 	if !ok {
-		return VerdictUnknown
+		return VerdictUnknown, nil
 	}
-	return CheckPath(p.Cond, checker)
+	return CheckPathLim(p.Cond, checker, lim)
 }

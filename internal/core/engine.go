@@ -8,8 +8,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"lisa/internal/callgraph"
@@ -46,6 +49,17 @@ type Engine struct {
 	// RunAllTests skips similarity-based selection and replays the whole
 	// suite (ablation for the test-selection stage).
 	RunAllTests bool
+	// Budget bounds assertion runs (deadlines, solver nodes, interpreter
+	// steps). The zero value means "no deadlines, package defaults".
+	Budget Budget
+	// Snapshots, when set, is a private snapshot cache for this engine;
+	// when nil the process-wide cache is used. Fault-injection experiments
+	// use a private cache so corrupted snapshots never poison other runs.
+	Snapshots *program.Cache
+	// VerifySnapshots re-checks each snapshot against its content address
+	// before asserting over it, turning silent cache corruption into an
+	// explicit program.ErrMutated failure.
+	VerifySnapshots bool
 }
 
 // New returns an engine with the deterministic patch analyzer (with
@@ -122,7 +136,10 @@ func (e *Engine) findEquivalent(sem *contract.Semantic) *contract.Semantic {
 			if !bindingsIntEqual(ex.Target.Bind, sem.Target.Bind) {
 				continue
 			}
-			if smt.Equiv(canonicalPre(ex), canonicalPre(sem)) {
+			eq, err := smt.EquivErr(canonicalPre(ex), canonicalPre(sem))
+			if err == nil && eq {
+				// A solver failure means equivalence could not be shown;
+				// registering the rule separately is the safe direction.
 				return ex
 			}
 		}
@@ -223,6 +240,52 @@ type SemanticReport struct {
 	// "fixed" paths in the tree precisely so that a correct rule shows at
 	// least one verified path; a rule with none is suspect.
 	SanityOK bool
+	// Failures are the contained job failures (panics, timeouts, budget
+	// exhaustion) recorded while asserting this semantic, in job order.
+	Failures []*JobFailure
+}
+
+// Per-semantic outcomes. A definite violation outranks degradation; only a
+// fully clean semantic is a PASS.
+const (
+	OutcomeViolated     = "VIOLATED"
+	OutcomeInconclusive = "INCONCLUSIVE"
+	OutcomePass         = "PASS"
+)
+
+// Outcome classifies the semantic. VIOLATED when any structural finding,
+// violating static path, or dynamic postcondition violation surfaced.
+// Otherwise INCONCLUSIVE when any job failed or any verdict (static or
+// dynamic) is INCONCLUSIVE — the run degraded, so the absence of a
+// violation proves nothing. Otherwise PASS.
+func (sr *SemanticReport) Outcome() string {
+	violated := len(sr.Structural) > 0
+	inconclusive := len(sr.Failures) > 0
+	for _, siteRep := range sr.Sites {
+		for _, p := range siteRep.Paths {
+			switch p.Verdict {
+			case concolic.VerdictViolation:
+				violated = true
+			case concolic.VerdictInconclusive:
+				inconclusive = true
+			}
+			if len(p.PostViolatedBy) > 0 {
+				violated = true
+			}
+			for _, v := range p.DynamicVerdicts {
+				if v == concolic.VerdictInconclusive {
+					inconclusive = true
+				}
+			}
+		}
+	}
+	if violated {
+		return OutcomeViolated
+	}
+	if inconclusive {
+		return OutcomeInconclusive
+	}
+	return OutcomePass
 }
 
 // Counts aggregates verdicts.
@@ -233,6 +296,11 @@ type Counts struct {
 	Uncovered  int
 	// PostViolations counts dynamic hits whose postcondition Q failed.
 	PostViolations int
+	// Inconclusive counts static paths whose complement check degraded
+	// (solver budget, cancellation) instead of deciding.
+	Inconclusive int
+	// Failures counts contained job failures across all semantics.
+	Failures int
 }
 
 // StageTimings accumulates wall-clock per workflow stage. A nil map is a
@@ -290,6 +358,17 @@ func (r *AssertReport) Violations() []string {
 		}
 	}
 	return out
+}
+
+// Semantic returns the per-semantic report with the given ID, or nil when
+// the run did not assert it.
+func (r *AssertReport) Semantic(id string) *SemanticReport {
+	for _, sr := range r.Semantics {
+		if sr.Semantic.ID == id {
+			return sr
+		}
+	}
+	return nil
 }
 
 // AssertContext is the shared, read-only state one assertion run operates
@@ -354,16 +433,30 @@ func (c *AssertContext) IsEntry(m *minij.Method) bool {
 func (e *Engine) Prepare(source string, tests []ticket.TestCase, tm StageTimings) (*AssertContext, error) {
 	var snap *program.Snapshot
 	var err error
-	tm.Time("compile", func() { snap, err = program.Load(source) })
+	tm.Time("compile", func() { snap, err = e.LoadSnapshot(source) })
 	if err != nil {
 		return nil, fmt.Errorf("system source: %w", err)
 	}
 	return e.PrepareSnapshot(snap, tests, tm)
 }
 
+// LoadSnapshot loads source through the engine's snapshot cache — the
+// private one when Snapshots is set, the process-wide cache otherwise.
+func (e *Engine) LoadSnapshot(source string) (*program.Snapshot, error) {
+	if e.Snapshots != nil {
+		return e.Snapshots.Load(source)
+	}
+	return program.Load(source)
+}
+
 // PrepareSnapshot is Prepare for an already-loaded system snapshot (the CI
 // gate loads head and proposed change once and shares them across jobs).
 func (e *Engine) PrepareSnapshot(snap *program.Snapshot, tests []ticket.TestCase, tm StageTimings) (*AssertContext, error) {
+	if e.VerifySnapshots {
+		if err := snap.Verify(); err != nil {
+			return nil, err
+		}
+	}
 	ctx := &AssertContext{Source: snap.Source(), Snapshot: snap, Tests: tests}
 	ctx.ProgSys = snap.Program()
 	var err error
@@ -377,13 +470,18 @@ func (e *Engine) PrepareSnapshot(snap *program.Snapshot, tests []ticket.TestCase
 		for _, tc := range tests {
 			full += "\n" + tc.Source
 		}
-		ctx.SnapshotAll, err = program.Load(full)
+		ctx.SnapshotAll, err = e.LoadSnapshot(full)
 		if err != nil {
 			err = fmt.Errorf("system+tests: %w", err)
 		}
 	})
 	if err != nil {
 		return nil, err
+	}
+	if e.VerifySnapshots && ctx.SnapshotAll != snap {
+		if verr := ctx.SnapshotAll.Verify(); verr != nil {
+			return nil, verr
+		}
 	}
 	ctx.ProgAll = ctx.SnapshotAll.Program()
 	ctx.systemClasses = map[string]bool{}
@@ -397,13 +495,13 @@ func (e *Engine) PrepareSnapshot(snap *program.Snapshot, tests []ticket.TestCase
 
 // StructuralReport runs the structural check for sem over the system
 // program and, when violations surface and tests exist, confirms them under
-// the runtime blocking monitor.
-func (e *Engine) StructuralReport(ctx *AssertContext, sem *contract.Semantic, tm StageTimings) *SemanticReport {
+// the runtime blocking monitor. rctx bounds the confirmation replays.
+func (e *Engine) StructuralReport(rctx context.Context, ctx *AssertContext, sem *contract.Semantic, tm StageTimings) *SemanticReport {
 	sr := &SemanticReport{Semantic: sem}
 	tm.Time("structural", func() { sr.Structural = sem.Structural.Check(ctx.ProgSys) })
 	if len(sr.Structural) > 0 && len(ctx.Tests) > 0 {
 		tm.Time("structural-replay", func() {
-			sr.StructuralConfirmedBy = e.confirmStructural(ctx.ProgAll, sr.Structural, ctx.Tests)
+			sr.StructuralConfirmedBy = e.confirmStructural(rctx, ctx.ProgAll, sr.Structural, ctx.Tests)
 		})
 	}
 	sr.SanityOK = true
@@ -437,11 +535,15 @@ func (e *Engine) SiteChains(ctx *AssertContext, site *contract.Site, tm StageTim
 }
 
 // SitePaths enumerates the static paths reaching siteRep's site along its
-// chains and records per-path complement-check verdicts.
-func (e *Engine) SitePaths(ctx *AssertContext, siteRep *SiteReport, tm StageTimings) {
+// chains and records per-path complement-check verdicts. rctx cancellation
+// and budget errors abort the stage; the caller (SiteJob) then discards
+// the partial site.
+func (e *Engine) SitePaths(rctx context.Context, ctx *AssertContext, siteRep *SiteReport, tm StageTimings) error {
 	site := siteRep.Site
+	var stageErr error
 	tm.Time("static-paths", func() {
-		opts := concolic.Options{MaxPaths: e.MaxStaticPaths, NoPrune: e.NoPrune}
+		opts := concolic.Options{MaxPaths: e.MaxStaticPaths, NoPrune: e.NoPrune, Ctx: rctx}
+		lim := e.solverLimits(rctx)
 		chains := siteRep.Chains
 		if e.IntraOnly || len(chains) == 0 {
 			chains = []callgraph.Path{nil}
@@ -461,30 +563,42 @@ func (e *Engine) SitePaths(ctx *AssertContext, siteRep *SiteReport, tm StageTimi
 					continue
 				}
 				seen[p.Key()] = true
+				verdict, err := concolic.CheckStaticPathLim(p, lim)
+				if err != nil {
+					stageErr = err
+					return
+				}
 				siteRep.Paths = append(siteRep.Paths, &PathReport{
 					Static:          p,
-					Verdict:         concolic.CheckStaticPath(p),
+					Verdict:         verdict,
 					DynamicVerdicts: map[string]concolic.Verdict{},
 				})
 			}
 		}
+		// Path enumeration swallows cancellation into truncation; surface
+		// it so a cancelled run fails the job instead of shipping a
+		// quietly shorter path set.
+		stageErr = rctx.Err()
 	})
+	return stageErr
 }
 
 // SiteStatic runs the full static pipeline for one site: execution tree,
-// then path enumeration with verdicts.
+// then path enumeration with verdicts — unbounded, for callers outside an
+// assertion run (tools and tests).
 func (e *Engine) SiteStatic(ctx *AssertContext, site *contract.Site, tm StageTimings) *SiteReport {
 	siteRep := e.SiteChains(ctx, site, tm)
-	e.SitePaths(ctx, siteRep, tm)
+	_ = e.SitePaths(context.Background(), ctx, siteRep, tm)
 	return siteRep
 }
 
 // DynamicReplay selects tests per site, replays them concolically, and
 // attributes hits to static paths. It returns the number of distinct tests
-// run.
-func (e *Engine) DynamicReplay(ctx *AssertContext, sr *SemanticReport, tm StageTimings) int {
+// run; a non-nil error means the stage degraded (step budget, deadline,
+// cancellation) and the caller must not trust the partial overlay.
+func (e *Engine) DynamicReplay(rctx context.Context, ctx *AssertContext, sr *SemanticReport, tm StageTimings) (int, error) {
 	if len(ctx.Tests) == 0 {
-		return 0
+		return 0, nil
 	}
 	var selected []ticket.TestCase
 	tm.Time("test-select", func() {
@@ -509,14 +623,16 @@ func (e *Engine) DynamicReplay(ctx *AssertContext, sr *SemanticReport, tm StageT
 			}
 		}
 	})
-	tm.Time("concolic", func() { e.runDynamic(ctx.ProgAll, sr, selected) })
-	return len(selected)
+	var err error
+	tm.Time("concolic", func() { err = e.runDynamic(rctx, ctx.ProgAll, sr, selected) })
+	return len(selected), err
 }
 
 // Absorb appends a finished semantic report and folds its verdicts into the
 // aggregate counts (including the per-rule sanity check).
 func (r *AssertReport) Absorb(sr *SemanticReport) {
 	r.Semantics = append(r.Semantics, sr)
+	r.Counts.Failures += len(sr.Failures)
 	if sr.Semantic.Kind == contract.StructuralKind {
 		r.Counts.Violations += len(sr.Structural)
 		return
@@ -529,6 +645,8 @@ func (r *AssertReport) Absorb(sr *SemanticReport) {
 				sr.SanityOK = true
 			case concolic.VerdictViolation:
 				r.Counts.Violations++
+			case concolic.VerdictInconclusive:
+				r.Counts.Inconclusive++
 			default:
 				r.Counts.Unknown++
 			}
@@ -546,37 +664,65 @@ func (r *AssertReport) Absorb(sr *SemanticReport) {
 // reference run; internal/sched produces byte-identical reports by fanning
 // the same stage primitives out across a worker pool.
 func (e *Engine) Assert(source string, tests []ticket.TestCase) (*AssertReport, error) {
+	return e.AssertCtx(context.Background(), source, tests)
+}
+
+// AssertCtx is Assert under an external context: cancelling ctx promptly
+// aborts the run, failing in-flight jobs with reason "cancelled".
+func (e *Engine) AssertCtx(ctx context.Context, source string, tests []ticket.TestCase) (*AssertReport, error) {
 	tm := StageTimings{}
-	ctx, err := e.Prepare(source, tests, tm)
+	actx, err := e.Prepare(source, tests, tm)
 	if err != nil {
 		return nil, err
 	}
-	return e.assertOver(ctx, tm), nil
+	rctx, cancel := e.Budget.RunContext(ctx)
+	defer cancel()
+	return e.assertOver(rctx, actx, tm), nil
 }
 
 // AssertSnapshot is Assert over an already-loaded program snapshot.
 func (e *Engine) AssertSnapshot(snap *program.Snapshot, tests []ticket.TestCase) (*AssertReport, error) {
+	return e.AssertSnapshotCtx(context.Background(), snap, tests)
+}
+
+// AssertSnapshotCtx is AssertSnapshot under an external context.
+func (e *Engine) AssertSnapshotCtx(ctx context.Context, snap *program.Snapshot, tests []ticket.TestCase) (*AssertReport, error) {
 	tm := StageTimings{}
-	ctx, err := e.PrepareSnapshot(snap, tests, tm)
+	actx, err := e.PrepareSnapshot(snap, tests, tm)
 	if err != nil {
 		return nil, err
 	}
-	return e.assertOver(ctx, tm), nil
+	rctx, cancel := e.Budget.RunContext(ctx)
+	defer cancel()
+	return e.assertOver(rctx, actx, tm), nil
 }
 
-// assertOver runs the sequential stage loop over a prepared context.
-func (e *Engine) assertOver(ctx *AssertContext, tm StageTimings) *AssertReport {
+// assertOver runs the sequential stage loop over a prepared context. Every
+// stage executes as a contained job — the same decomposition, names, and
+// failure handling as the scheduler's worker pool — so a fault degrades
+// both execution strategies to byte-identical reports.
+func (e *Engine) assertOver(rctx context.Context, ctx *AssertContext, tm StageTimings) *AssertReport {
 	report := &AssertReport{StageTimings: tm, StaticOnly: len(ctx.Tests) == 0}
 	for _, sem := range e.Registry.All() {
 		var sr *SemanticReport
 		if sem.Kind == contract.StructuralKind {
-			sr = e.StructuralReport(ctx, sem, tm)
+			sr = e.StructuralJob(rctx, ctx, JobNameStructural(sem.ID), sem, tm)
 		} else {
 			sr = &SemanticReport{Semantic: sem}
-			for _, site := range e.MatchSites(ctx, sem, tm) {
-				sr.Sites = append(sr.Sites, e.SiteStatic(ctx, site, tm))
+			for i, site := range e.MatchSites(ctx, sem, tm) {
+				siteRep := e.SiteChains(ctx, site, tm)
+				sr.Sites = append(sr.Sites, siteRep)
+				if fail := e.SiteJob(rctx, ctx, JobNameSite(sem.ID, i), siteRep, tm); fail != nil {
+					sr.Failures = append(sr.Failures, fail)
+				}
 			}
-			report.TestsRun += e.DynamicReplay(ctx, sr, tm)
+			if len(ctx.Tests) > 0 {
+				n, fail := e.DynamicJob(rctx, ctx, JobNameDynamic(sem.ID), sr, tm)
+				report.TestsRun += n
+				if fail != nil {
+					sr.Failures = append(sr.Failures, fail)
+				}
+			}
 		}
 		report.Absorb(sr)
 	}
@@ -586,10 +732,14 @@ func (e *Engine) assertOver(ctx *AssertContext, tm StageTimings) *AssertReport {
 // confirmStructural replays the test suite under the runtime blocking
 // monitor and attributes blocking-under-lock events to the statically
 // flagged methods.
-func (e *Engine) confirmStructural(prog *minij.Program, violations []*contract.StructuralViolation, tests []ticket.TestCase) map[int][]string {
+func (e *Engine) confirmStructural(rctx context.Context, prog *minij.Program, violations []*contract.StructuralViolation, tests []ticket.TestCase) map[int][]string {
 	confirmed := map[int][]string{}
 	for _, tc := range tests {
-		in := interp.New(prog)
+		if rctx.Err() != nil {
+			// StructuralJob turns the truncation into a job failure.
+			break
+		}
+		in := interp.NewWithOptions(prog, interp.Options{Ctx: rctx, StepBudget: e.Budget.StepBudget})
 		mon := &contract.RuntimeBlockingMonitor{}
 		mon.Attach(in)
 		// Expected exceptions do not invalidate observed events.
@@ -614,8 +764,10 @@ func (e *Engine) topK() int {
 
 // runDynamic replays the selected tests, then attributes each site hit to
 // the static path it instantiates (matching bindings, and a dynamic
-// condition that entails the static one).
-func (e *Engine) runDynamic(prog *minij.Program, sr *SemanticReport, selected []ticket.TestCase) {
+// condition that entails the static one). Tests that exhaust the step or
+// stack budget degrade the stage deterministically: the aggregated error
+// names them in selection order.
+func (e *Engine) runDynamic(rctx context.Context, prog *minij.Program, sr *SemanticReport, selected []ticket.TestCase) error {
 	var sites []*contract.Site
 	siteReps := map[*contract.Site]*SiteReport{}
 	for _, siteRep := range sr.Sites {
@@ -623,43 +775,63 @@ func (e *Engine) runDynamic(prog *minij.Program, sr *SemanticReport, selected []
 		siteReps[siteRep.Site] = siteRep
 	}
 	if len(sites) == 0 {
-		return
+		return nil
 	}
-	runner := concolic.NewRunner(prog, sites, interp.Options{})
+	runner := concolic.NewRunner(prog, sites, interp.Options{Ctx: rctx, StepBudget: e.Budget.StepBudget})
 	runner.SetNoPrune(e.NoPrune)
+	var degraded []string
 	for _, tc := range selected {
-		// Tests may end in expected exceptions; hits before unwind count.
-		_ = runner.RunStatic(tc.Name, tc.Class, tc.Method)
+		if err := runner.RunStatic(tc.Name, tc.Class, tc.Method); err != nil {
+			var ue *interp.UncaughtError
+			switch {
+			case errors.As(err, &ue):
+				// Tests may end in expected exceptions; hits before unwind
+				// count.
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				return err
+			case errors.Is(err, interp.ErrStepBudget), errors.Is(err, interp.ErrStackDepth):
+				degraded = append(degraded, tc.Name)
+			default:
+				return fmt.Errorf("replay %s: %w", tc.Name, err)
+			}
+		}
 	}
+	lim := e.solverLimits(rctx)
 	for _, hit := range runner.Hits {
 		siteRep := siteReps[hit.Site]
 		if siteRep == nil {
 			continue
 		}
-		best := matchHitToPath(hit, siteRep.Paths)
+		best := matchHitToPath(hit, siteRep.Paths, lim)
 		if best == nil {
 			continue
 		}
 		if !containsString(best.CoveredBy, hit.TestName) {
 			best.CoveredBy = append(best.CoveredBy, hit.TestName)
 		}
-		best.DynamicVerdicts[hit.TestName] = hit.Verdict()
+		best.DynamicVerdicts[hit.TestName] = hit.VerdictLim(lim)
 		if hit.PostHolds == concolic.TriFalse && !containsString(best.PostViolatedBy, hit.TestName) {
 			best.PostViolatedBy = append(best.PostViolatedBy, hit.TestName)
 		}
 	}
+	if len(degraded) > 0 {
+		return fmt.Errorf("replay degraded for %s: %w", strings.Join(degraded, ", "), interp.ErrStepBudget)
+	}
+	return nil
 }
 
 // matchHitToPath finds the most specific static path whose condition the
-// hit's condition entails, with matching slot bindings.
-func matchHitToPath(hit *concolic.SiteHit, paths []*PathReport) *PathReport {
+// hit's condition entails, with matching slot bindings. A solver failure
+// on a candidate skips it — conservatively leaving the hit unattributed.
+func matchHitToPath(hit *concolic.SiteHit, paths []*PathReport, lim smt.Limits) *PathReport {
 	var best *PathReport
 	bestAtoms := -1
 	for _, p := range paths {
 		if !bindingsEqual(hit.Bindings, p.Static.Bindings) {
 			continue
 		}
-		if !smt.Implies(hit.Cond, p.Static.Cond) {
+		ok, err := smt.ImpliesLim(hit.Cond, p.Static.Cond, lim)
+		if err != nil || !ok {
 			continue
 		}
 		n := len(smt.Atoms(p.Static.Cond))

@@ -14,11 +14,18 @@ import (
 // are the only nondeterministic part of a report).
 func (r *AssertReport) Render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "counts: verified=%d violations=%d unknown=%d uncovered=%d post-violations=%d\n",
-		r.Counts.Verified, r.Counts.Violations, r.Counts.Unknown, r.Counts.Uncovered, r.Counts.PostViolations)
+	fmt.Fprintf(&sb, "counts: verified=%d violations=%d unknown=%d uncovered=%d post-violations=%d inconclusive=%d failures=%d\n",
+		r.Counts.Verified, r.Counts.Violations, r.Counts.Unknown, r.Counts.Uncovered, r.Counts.PostViolations,
+		r.Counts.Inconclusive, r.Counts.Failures)
 	fmt.Fprintf(&sb, "tests-run=%d static-only=%v\n", r.TestsRun, r.StaticOnly)
 	for _, sr := range r.Semantics {
-		fmt.Fprintf(&sb, "semantic %s sanity=%v\n", sr.Semantic.ID, sr.SanityOK)
+		fmt.Fprintf(&sb, "semantic %s sanity=%v outcome=%s\n", sr.Semantic.ID, sr.SanityOK, sr.Outcome())
+		for _, f := range sr.Failures {
+			// Stacks are deliberately excluded: they vary run to run, and
+			// Render is the byte-identity contract between the sequential
+			// engine and the scheduler.
+			fmt.Fprintf(&sb, "  failure %s reason=%s detail=%q\n", f.Job, f.Reason, f.Detail)
+		}
 		for i, v := range sr.Structural {
 			fmt.Fprintf(&sb, "  structural %s", v)
 			if tests := sr.StructuralConfirmedBy[i]; len(tests) > 0 {

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lisa/internal/ci"
+	"lisa/internal/core"
+	"lisa/internal/faultinject"
+	"lisa/internal/program"
+	"lisa/internal/report"
+	"lisa/internal/sched"
+	"lisa/internal/ticket"
+)
+
+// ChaosSeed parameterizes the chaos experiment's deterministic fault plan
+// (which corpus case it targets). cmd/lisabench sets it from -seed; for a
+// fixed seed the experiment's output is byte-stable run to run.
+var ChaosSeed int64 = 1
+
+// chaosScenario is one cell of the injection matrix: a fault kind armed at
+// one hook point, plus any budget the scenario needs to expose it.
+type chaosScenario struct {
+	name   string
+	point  string
+	kind   faultinject.Kind
+	budget core.Budget
+}
+
+// chaosScenarios is the full injection matrix of the degradation study:
+// forced panics at every containment layer, budget exhaustion in the
+// solver and the interpreter, a job that never finishes, and a corrupted
+// snapshot-cache entry.
+func chaosScenarios() []chaosScenario {
+	return []chaosScenario{
+		{name: "baseline"},
+		{name: "panic-solver", point: "smt.solve", kind: faultinject.Panic},
+		{name: "panic-paths", point: "concolic.paths:*", kind: faultinject.Panic},
+		{name: "panic-site-job", point: "job:site:*", kind: faultinject.Panic},
+		{name: "budget-solver", point: "smt.solve", kind: faultinject.Budget},
+		{name: "budget-replay", point: "interp.call:*", kind: faultinject.Budget},
+		{name: "slow-replay-job", point: "job:dynamic:*", kind: faultinject.Slow,
+			budget: core.Budget{JobTimeout: 50 * time.Millisecond}},
+		{name: "corrupt-snapshot", point: "program.load", kind: faultinject.Corrupt},
+	}
+}
+
+// chaosEngine builds a fresh engine for one chaos run: its own private
+// snapshot cache (so an injected cache corruption can never poison the
+// process-wide cache other experiments share), snapshot verification on,
+// and the first ticket of the case processed into a rule.
+func chaosEngine(cs *ticket.Case, budget core.Budget) (*core.Engine, error) {
+	e := core.New()
+	e.Snapshots = program.NewCache(64)
+	e.VerifySnapshots = true
+	e.Budget = budget
+	if _, err := e.ProcessTicket(cs.Tickets[0]); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// chaosRun is the outcome of one gated assertion under one fault plan.
+type chaosRun struct {
+	res    *ci.Result
+	render string
+	hits   string
+}
+
+// runChaosGate gates the case's head under the scenario's fault plan.
+// workers<=0 runs the sequential engine loop; otherwise the scheduler with
+// that pool width. Every run gets a fresh engine, cache, and scheduler, so
+// nothing carries over between scenarios or widths.
+func runChaosGate(cs *ticket.Case, sc chaosScenario, workers int, failOpen bool) (chaosRun, error) {
+	e, err := chaosEngine(cs, sc.budget)
+	if err != nil {
+		return chaosRun{}, err
+	}
+	var plan *faultinject.Plan
+	if sc.point != "" {
+		plan = faultinject.NewPlan(ChaosSeed).Set(sc.point, sc.kind)
+		faultinject.Arm(plan)
+		defer faultinject.Disarm()
+	}
+	opts := ci.GateOptions{FailOpen: failOpen}
+	if workers > 0 {
+		opts.Scheduler = sched.New()
+		opts.Workers = workers
+	}
+	res, err := ci.GateWith(e, ci.Change{Summary: "chaos " + sc.name, NewSource: cs.Head()}, cs.Tests, opts)
+	if err != nil {
+		return chaosRun{}, err
+	}
+	out := chaosRun{res: res}
+	if res.Report != nil {
+		out.render = res.Report.Render()
+	} else {
+		// No report (e.g. the corrupted snapshot never asserted): the
+		// findings are the run's observable output.
+		var fs []string
+		for _, f := range res.Findings {
+			fs = append(fs, f.Severity+" "+f.Text)
+		}
+		out.render = strings.Join(fs, "\n")
+	}
+	if plan != nil {
+		out.hits = plan.HitLog()
+	}
+	return out, nil
+}
+
+// chaosOutcomes summarizes per-semantic outcomes of a report as e.g.
+// "1 INCONCLUSIVE / 2 PASS" in a fixed order.
+func chaosOutcomes(res *ci.Result) string {
+	if res.Report == nil {
+		return "no report"
+	}
+	counts := map[string]int{}
+	for _, sr := range res.Report.Semantics {
+		counts[sr.Outcome()]++
+	}
+	var parts []string
+	for _, o := range []string{core.OutcomeViolated, core.OutcomeInconclusive, core.OutcomePass} {
+		if counts[o] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", counts[o], o))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " / ")
+}
+
+func gateVerdict(res *ci.Result) string {
+	if res.Pass {
+		return "PASS"
+	}
+	return "BLOCKED"
+}
+
+// pickChaosCase selects the corpus case the injection matrix targets:
+// deterministic for a seed, varying across seeds.
+func pickChaosCase(c *ticket.Corpus) *ticket.Case {
+	byID := map[string]*ticket.Case{}
+	var ids []string
+	for _, cs := range c.Cases {
+		if len(cs.Tickets) > 0 && len(cs.Tests) > 0 {
+			byID[cs.ID] = cs
+			ids = append(ids, cs.ID)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Strings(ids)
+	return byID[faultinject.Pick(ChaosSeed, "chaos-case", ids)]
+}
+
+// RunChaos drives the fault-injection matrix (E-R1): for every scenario it
+// gates the same change four ways — sequentially, scheduled at workers=1
+// and workers=8 (all fail-closed), and once fail-open — and checks that
+// (1) no injected fault crashes the process, (2) the three fail-closed
+// runs produce byte-identical reports, (3) every degraded semantic reports
+// INCONCLUSIVE rather than PASS, and (4) the fail-closed gate blocks where
+// the fail-open gate passes with a warning.
+func RunChaos(c *ticket.Corpus) string {
+	cs := pickChaosCase(c)
+	if cs == nil {
+		return "no corpus case with tests; chaos matrix skipped\n"
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Fault-injection matrix over %s (seed=%d): gate survival and degraded verdicts",
+			cs.ID, ChaosSeed),
+		Headers: []string{"scenario", "fault point", "outcomes", "seq=w1=w8", "fail-closed", "fail-open", "fault hits"},
+	}
+	survived, deterministic, degradedCorrectly := 0, 0, 0
+	total := 0
+	for _, sc := range chaosScenarios() {
+		total++
+		seq, err1 := runChaosGate(cs, sc, 0, false)
+		w1, err2 := runChaosGate(cs, sc, 1, false)
+		w8, err3 := runChaosGate(cs, sc, 8, false)
+		open, err4 := runChaosGate(cs, sc, 8, true)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			t.AddRow(sc.name, sc.point, "run failed", "-", "-", "-", "-")
+			continue
+		}
+		survived++
+		identical := seq.render == w1.render && w1.render == w8.render
+		if identical {
+			deterministic++
+		}
+		inconclusiveSeen := strings.Contains(chaosOutcomes(w8.res), core.OutcomeInconclusive) ||
+			strings.Contains(w8.render, "INCONCLUSIVE")
+		if sc.point == "" {
+			// Baseline: clean pass, nothing degraded.
+			if w8.res.Pass && !inconclusiveSeen {
+				degradedCorrectly++
+			}
+		} else if inconclusiveSeen && !w8.res.Pass && open.res.Pass {
+			degradedCorrectly++
+		}
+		point := sc.point
+		if point == "" {
+			point = "-"
+		}
+		hits := w8.hits
+		if hits == "" {
+			hits = "-"
+		}
+		t.AddRow(sc.name, point, chaosOutcomes(w8.res), report.Bool(identical),
+			gateVerdict(w8.res), gateVerdict(open.res), hits)
+	}
+	t.AddNote("%d/%d scenarios survived with zero process crashes; %d/%d produced byte-identical reports across sequential, workers=1, and workers=8 execution; %d/%d degraded exactly as designed (INCONCLUSIVE semantics, fail-closed blocks, fail-open passes with a warning).",
+		survived, total, deterministic, total, degradedCorrectly, total)
+	t.AddNote("faults are sticky (they fire on every visit of the armed point), which is what makes degraded runs deterministic at any worker count; failed jobs are never admitted to the scheduler's fingerprint cache.")
+	return t.Render()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lisa/internal/core"
+	"lisa/internal/corpus"
+	"lisa/internal/faultinject"
+)
+
+// TestChaosSolverBudgetGatePolicy pins the gate-policy contract of the
+// degradation study on one matrix cell: with solver-budget exhaustion
+// injected, the fail-closed gate blocks the change with an INCONCLUSIVE
+// finding, the fail-open gate passes the same change with a warning, and in
+// both runs the degraded semantics report INCONCLUSIVE rather than PASS.
+func TestChaosSolverBudgetGatePolicy(t *testing.T) {
+	cs := pickChaosCase(corpus.Load())
+	if cs == nil {
+		t.Fatal("no corpus case with tests")
+	}
+	sc := chaosScenario{name: "budget-solver", point: "smt.solve", kind: faultinject.Budget}
+
+	closed, err := runChaosGate(cs, sc, 8, false)
+	if err != nil {
+		t.Fatalf("fail-closed run: %v", err)
+	}
+	open, err := runChaosGate(cs, sc, 8, true)
+	if err != nil {
+		t.Fatalf("fail-open run: %v", err)
+	}
+
+	if closed.res.Pass {
+		t.Error("fail-closed gate passed despite injected solver-budget exhaustion")
+	}
+	if !open.res.Pass {
+		t.Error("fail-open gate blocked; inconclusive results should downgrade to a warning")
+	}
+	if closed.hits == "" {
+		t.Error("fault plan recorded no hits; the injected fault never fired")
+	}
+
+	sawBlock, sawWarn := false, false
+	for _, f := range closed.res.Findings {
+		if f.Severity == "BLOCK" && strings.Contains(f.Text, "INCONCLUSIVE") {
+			sawBlock = true
+		}
+	}
+	for _, f := range open.res.Findings {
+		if f.Severity == "WARN" && strings.Contains(f.Text, "INCONCLUSIVE") {
+			sawWarn = true
+		}
+	}
+	if !sawBlock {
+		t.Errorf("fail-closed findings lack a BLOCK INCONCLUSIVE entry: %+v", closed.res.Findings)
+	}
+	if !sawWarn {
+		t.Errorf("fail-open findings lack a WARN INCONCLUSIVE entry: %+v", open.res.Findings)
+	}
+
+	for _, run := range []chaosRun{closed, open} {
+		if run.res.Report == nil {
+			t.Fatal("run produced no report")
+		}
+		degraded := 0
+		for _, sr := range run.res.Report.Semantics {
+			switch sr.Outcome() {
+			case core.OutcomeInconclusive:
+				degraded++
+			case core.OutcomePass:
+				t.Errorf("semantic %s reports PASS under an exhausted solver", sr.Semantic.ID)
+			}
+		}
+		if degraded == 0 {
+			t.Error("no semantic degraded to INCONCLUSIVE")
+		}
+	}
+}

@@ -33,6 +33,7 @@ var Registry = []struct {
 	{"compose", "§5 Q3: composing low-level semantics (E-Q3)", RunCompose},
 	{"mutation", "DESIGN sweep: guard-weakening mutants, tests vs LISA (E-M1)", RunMutation},
 	{"ablations", "Design ablations: pruning, complement check, test selection (E-A1)", RunAblations},
+	{"chaos", "Degradation modes: fault-injection matrix over the gate (E-R1)", RunChaos},
 }
 
 // Run executes the named experiment over the corpus, or every experiment

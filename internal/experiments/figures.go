@@ -304,7 +304,11 @@ func compileQuiet(src string) (*minij.Program, error) {
 // checker outright, treating missing checks as satisfied. The §3.2 worked
 // example shows why this is wrong: an omitted s.ttl check passes silently.
 func naiveVerdict(pathCond, checker smt.Formula) concolic.Verdict {
-	if !smt.SAT(smt.NewAnd(pathCond, checker)) {
+	sat, err := smt.SATErr(smt.NewAnd(pathCond, checker))
+	if err != nil {
+		return concolic.VerdictInconclusive
+	}
+	if !sat {
 		return concolic.VerdictViolation
 	}
 	return concolic.VerdictVerified

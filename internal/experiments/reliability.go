@@ -156,14 +156,18 @@ func ComposeStudy(c *ticket.Corpus) []ComposeResult {
 			continue
 		}
 		composed := smt.NewAnd(canon...)
+		// Solver failures (budget) count against the property: a
+		// composition we cannot prove consistent is not a building block.
+		consistent, cerr := smt.SATErr(composed)
 		res := ComposeResult{
 			CaseID:     cs.ID,
 			Rules:      len(canon),
-			Consistent: smt.SAT(composed),
+			Consistent: consistent && cerr == nil,
 			Entails:    true,
 		}
 		for _, f := range canon {
-			if !smt.Implies(composed, f) {
+			entails, eerr := smt.ImpliesErr(composed, f)
+			if eerr != nil || !entails {
 				res.Entails = false
 			}
 		}
@@ -226,7 +230,16 @@ func RunAblations(c *ticket.Corpus) string {
 
 	// 2. Complement check vs naive contradiction check on the worked
 	// example of §3.2.
-	checker := smt.MustParsePredicate(`s != null && s.isClosing() == false && s.ttl > 0`)
+	cc := &report.Table{
+		Title:   "Ablation: complement check vs naive contradiction check (§3.2 worked example)",
+		Headers: []string{"trace condition", "scenario", "complement check", "naive check"},
+	}
+	checker, err := smt.ParsePredicate(`s != null && s.isClosing() == false && s.ttl > 0`)
+	if err != nil {
+		cc.AddNote("checker predicate failed to parse: %v", err)
+		sb += cc.Render()
+		return sb
+	}
 	traces := []struct {
 		cond string
 		desc string
@@ -235,12 +248,12 @@ func RunAblations(c *ticket.Corpus) string {
 		{`s != null && s.isClosing() == false`, "omits the ttl check"},
 		{`s != null && s.isClosing() == false && s.ttl > 0`, "full guard"},
 	}
-	cc := &report.Table{
-		Title:   "Ablation: complement check vs naive contradiction check (§3.2 worked example)",
-		Headers: []string{"trace condition", "scenario", "complement check", "naive check"},
-	}
 	for _, tr := range traces {
-		pc := smt.MustParsePredicate(tr.cond)
+		pc, perr := smt.ParsePredicate(tr.cond)
+		if perr != nil {
+			cc.AddRow(tr.cond, tr.desc, fmt.Sprintf("parse failed: %v", perr), "-")
+			continue
+		}
 		cc.AddRow(tr.cond, tr.desc,
 			concolic.CheckPath(pc, checker).String(),
 			naiveVerdict(pc, checker).String())

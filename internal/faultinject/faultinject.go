@@ -1,0 +1,189 @@
+// Package faultinject is a seeded, deterministic fault injector for the
+// assertion runtime. Hook points in the solver, interpreter, path walker,
+// job runner, and snapshot cache consult the armed Plan by point name and
+// fail in a prescribed way: a forced panic, a budget-exhaustion error, a
+// job that never finishes (slow), or a corrupted cache entry.
+//
+// Rules are sticky: a matching point fires on every visit, never "the Nth
+// time", so an injected fault hits the same logical work items regardless
+// of worker count or scheduling order — the property the chaos experiment
+// leans on to demand byte-identical reports at workers=1 and workers=8.
+//
+// The injector is process-global but off by default; hot paths guard their
+// hook with Armed() so an unarmed run pays one atomic load. Production
+// binaries never arm a plan — only the chaos experiment and robustness
+// tests do.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the failure mode a rule injects at its point.
+type Kind int
+
+// Failure modes. Each hook point documents which kinds it honors;
+// unsupported kinds at a point are ignored.
+const (
+	// Panic forces a runtime panic at the point (containment check).
+	Panic Kind = iota
+	// Budget forces the point's budget-exhaustion error (smt.ErrBudget,
+	// interp.ErrStepBudget, ...).
+	Budget
+	// Slow blocks the point until its job context expires (timeout check).
+	Slow
+	// Corrupt mutates the value the point is about to hand out (e.g. a
+	// snapshot cache entry), so integrity checks downstream must catch it.
+	Corrupt
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Budget:
+		return "budget"
+	case Slow:
+		return "slow"
+	case Corrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Plan is one seeded injection plan: a set of sticky point→kind rules plus
+// a hit log. A point ending in '*' matches every point with that prefix
+// (longest prefix wins; an exact rule always beats a wildcard).
+type Plan struct {
+	// Seed labels the plan and feeds Pick; it does not randomize rule
+	// matching, which is fully deterministic.
+	Seed int64
+
+	mu    sync.Mutex
+	rules map[string]Kind
+	hits  map[string]int
+}
+
+// NewPlan returns an empty plan with the given seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{Seed: seed, rules: map[string]Kind{}, hits: map[string]int{}}
+}
+
+// Set adds a sticky rule and returns the plan for chaining.
+func (p *Plan) Set(point string, k Kind) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules[point] = k
+	return p
+}
+
+// match resolves point against the rules: exact first, then the longest
+// matching '*' wildcard.
+func (p *Plan) match(point string) (Kind, bool) {
+	if k, ok := p.rules[point]; ok {
+		return k, true
+	}
+	bestLen := -1
+	var best Kind
+	for pat, k := range p.rules {
+		if !strings.HasSuffix(pat, "*") {
+			continue
+		}
+		prefix := pat[:len(pat)-1]
+		if strings.HasPrefix(point, prefix) && len(prefix) > bestLen {
+			bestLen = len(prefix)
+			best = k
+		}
+	}
+	return best, bestLen >= 0
+}
+
+// Hits returns a copy of the hit counts, keyed by the concrete point names
+// that fired (not the wildcard patterns).
+func (p *Plan) Hits() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.hits))
+	for k, v := range p.hits {
+		out[k] = v
+	}
+	return out
+}
+
+// HitCount returns the total number of injected faults so far.
+func (p *Plan) HitCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, v := range p.hits {
+		n += v
+	}
+	return n
+}
+
+// HitLog renders the hit counts deterministically ("point×n, ...").
+func (p *Plan) HitLog() string {
+	hits := p.Hits()
+	keys := make([]string, 0, len(hits))
+	for k := range hits {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s×%d", k, hits[k])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// active is the armed plan, nil when injection is off.
+var active atomic.Pointer[Plan]
+
+// Arm makes p the process-wide active plan. Arm the plan only around the
+// run under test and Disarm afterwards; arming is not reference counted.
+func Arm(p *Plan) { active.Store(p) }
+
+// Disarm turns injection off.
+func Disarm() { active.Store(nil) }
+
+// Armed reports whether a plan is active. Hook points on hot paths call
+// this before building their point name, so the unarmed cost is one atomic
+// load.
+func Armed() bool { return active.Load() != nil }
+
+// At consults the active plan for point. When a rule matches, the hit is
+// recorded and the rule's kind returned with ok=true. With no armed plan
+// or no matching rule, ok is false and the caller proceeds normally.
+func At(point string) (Kind, bool) {
+	p := active.Load()
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k, ok := p.match(point)
+	if ok {
+		p.hits[point]++
+	}
+	return k, ok
+}
+
+// Pick deterministically selects one of candidates from the seed and a
+// salt label: the same (seed, salt, candidates) always yields the same
+// choice, independent of candidate order. Empty candidates yield "".
+func Pick(seed int64, salt string, candidates []string) string {
+	if len(candidates) == 0 {
+		return ""
+	}
+	sorted := append([]string(nil), candidates...)
+	sort.Strings(sorted)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s", seed, salt)
+	return sorted[h.Sum64()%uint64(len(sorted))]
+}

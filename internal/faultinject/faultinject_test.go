@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestUnarmedIsOff(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("armed with no plan")
+	}
+	if _, ok := At("smt.solve"); ok {
+		t.Fatal("unarmed At matched")
+	}
+}
+
+func TestExactAndWildcardRules(t *testing.T) {
+	p := NewPlan(7).
+		Set("smt.solve", Budget).
+		Set("job:site:*", Panic).
+		Set("job:*", Slow)
+	Arm(p)
+	defer Disarm()
+
+	if k, ok := At("smt.solve"); !ok || k != Budget {
+		t.Fatalf("exact rule: got %v,%v", k, ok)
+	}
+	// Longest wildcard prefix wins over the shorter one.
+	if k, ok := At("job:site:zk-1208#0"); !ok || k != Panic {
+		t.Fatalf("wildcard rule: got %v,%v", k, ok)
+	}
+	if k, ok := At("job:dynamic:zk-1208"); !ok || k != Slow {
+		t.Fatalf("short wildcard rule: got %v,%v", k, ok)
+	}
+	if _, ok := At("interp.call:T.m"); ok {
+		t.Fatal("unrelated point matched")
+	}
+
+	// Sticky: the same point fires again.
+	if _, ok := At("smt.solve"); !ok {
+		t.Fatal("rule was not sticky")
+	}
+	hits := p.Hits()
+	if hits["smt.solve"] != 2 || hits["job:site:zk-1208#0"] != 1 {
+		t.Fatalf("hit log: %v", hits)
+	}
+	if p.HitCount() != 4 {
+		t.Fatalf("hit count: %d", p.HitCount())
+	}
+	if log := p.HitLog(); log == "" {
+		t.Fatal("empty hit log")
+	}
+}
+
+// TestConcurrentAt exercises the hit log under parallel hook calls; the
+// race detector is the assertion.
+func TestConcurrentAt(t *testing.T) {
+	p := NewPlan(1).Set("pt:*", Budget)
+	Arm(p)
+	defer Disarm()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				At("pt:x")
+				Armed()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Hits()["pt:x"] != 8*200 {
+		t.Fatalf("lost hits: %v", p.Hits())
+	}
+}
+
+func TestPickDeterministic(t *testing.T) {
+	cands := []string{"b", "a", "c"}
+	got := Pick(42, "salt", cands)
+	if got == "" {
+		t.Fatal("empty pick")
+	}
+	// Order-independent and repeatable.
+	if again := Pick(42, "salt", []string{"c", "b", "a"}); again != got {
+		t.Fatalf("pick not order-independent: %q vs %q", got, again)
+	}
+	if Pick(42, "salt", nil) != "" {
+		t.Fatal("nil candidates should pick empty")
+	}
+}

@@ -1,9 +1,11 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"lisa/internal/faultinject"
 	"lisa/internal/minij"
 )
 
@@ -106,7 +108,17 @@ type Options struct {
 	StepBudget int // statements; 0 means DefaultStepBudget
 	MaxDepth   int // frames; 0 means DefaultMaxDepth
 	Clock      int64
+	// Ctx, when non-nil, is polled cooperatively in the statement loop
+	// (every ctxPollMask+1 steps); cancellation or deadline expiry aborts
+	// execution with the context's error, so a run under a wall-clock
+	// budget returns promptly even from runaway MiniJ loops.
+	Ctx context.Context
 }
+
+// ctxPollMask throttles the cancellation poll: the step loop checks
+// Options.Ctx when steps&ctxPollMask == 0, bounding cancellation latency
+// to ~1k statements while keeping the common path branch-cheap.
+const ctxPollMask = 1<<10 - 1
 
 // Default execution limits.
 const (
@@ -131,6 +143,7 @@ type Interp struct {
 
 	steps     int
 	budget    int
+	ctx       context.Context
 	depth     int
 	curMethod []*minij.Method
 	maxDepth  int
@@ -158,6 +171,7 @@ func NewWithOptions(prog *minij.Program, opts Options) *Interp {
 		Clock:     opts.Clock,
 		Files:     map[string]string{},
 		budget:    budget,
+		ctx:       opts.Ctx,
 		maxDepth:  maxDepth,
 		lockDepth: map[Value]int{},
 	}
@@ -254,6 +268,14 @@ func throw(value string, pos minij.Pos) outcome {
 // callMethod binds arguments and executes the body. call is the invoking
 // call expression, or nil for entry points and constructors.
 func (in *Interp) callMethod(m *minij.Method, this *Object, args []Value, pos minij.Pos, call *minij.Call) (Value, *Exception, error) {
+	if faultinject.Armed() {
+		switch k, ok := faultinject.At("interp.call:" + m.FullName()); {
+		case ok && k == faultinject.Budget:
+			return nil, nil, ErrStepBudget
+		case ok && k == faultinject.Panic:
+			panic("faultinject: interp.call " + m.FullName())
+		}
+	}
 	if in.depth >= in.maxDepth {
 		return nil, nil, ErrStackDepth
 	}
@@ -314,6 +336,13 @@ func (in *Interp) exec(s minij.Stmt, fr *Frame) (outcome, error) {
 	in.steps++
 	if in.steps > in.budget {
 		return okOutcome, ErrStepBudget
+	}
+	if in.ctx != nil && in.steps&ctxPollMask == 0 {
+		select {
+		case <-in.ctx.Done():
+			return okOutcome, in.ctx.Err()
+		default:
+		}
 	}
 	if in.Hooks.OnStmt != nil {
 		in.Hooks.OnStmt(s, fr)

@@ -19,12 +19,14 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"lisa/internal/callgraph"
+	"lisa/internal/faultinject"
 	"lisa/internal/minij"
 )
 
@@ -128,15 +130,21 @@ func (s *Snapshot) Shape() string {
 	return s.shape
 }
 
+// ErrMutated reports a snapshot whose shared AST no longer matches the
+// canonical form captured at compile time — some holder mutated it, or a
+// cache entry was corrupted. Callers match it with errors.Is.
+var ErrMutated = errors.New("program: snapshot mutated")
+
 // Verify checks the immutability contract: it re-renders the shared AST
 // and compares it against the canonical form captured at compile time. A
-// non-nil error means some holder mutated the snapshot's program.
+// non-nil error wrapping ErrMutated means some holder mutated the
+// snapshot's program.
 func (s *Snapshot) Verify() error {
 	if s.err != nil {
 		return s.err
 	}
 	if got := minij.FormatProgram(s.prog); got != s.canon {
-		return fmt.Errorf("program: snapshot %.12s mutated: canonical AST drifted from its content address", s.hash)
+		return fmt.Errorf("%w: %.12s canonical AST drifted from its content address", ErrMutated, s.hash)
 	}
 	return nil
 }
@@ -158,6 +166,27 @@ func (s *Snapshot) build() {
 	s.prog = prog
 	s.canon = minij.FormatProgram(prog)
 	s.canonHash = Hash(s.canon)
+	// Fault-injection point: corrupt the cached AST *after* the canonical
+	// form was captured, modeling a bad cache entry. Verify must catch it.
+	if faultinject.Armed() {
+		if k, ok := faultinject.At("program.load"); ok && k == faultinject.Corrupt {
+			corruptProgram(prog)
+		}
+	}
+}
+
+// corruptProgram deterministically damages the AST: it drops the last
+// statement of the first method that has a body. The canonical rendering
+// then no longer matches the captured one.
+func corruptProgram(p *minij.Program) {
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			if m.Body != nil && len(m.Body.Stmts) > 0 {
+				m.Body.Stmts = m.Body.Stmts[:len(m.Body.Stmts)-1]
+				return
+			}
+		}
+	}
 }
 
 func classShape(p *minij.Program) string {

@@ -9,6 +9,7 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -51,6 +52,9 @@ type Stats struct {
 	// ImpactedJobs counts jobs the dirty set classified as reachable from
 	// the change (equal to Jobs on non-incremental runs).
 	ImpactedJobs int
+	// Failures counts jobs that ended in a contained failure (panic,
+	// timeout, budget); their semantics report INCONCLUSIVE.
+	Failures int
 	// AssertedSemantics/SkippedSemantics partition the registry: a
 	// semantic is skipped when every one of its jobs was served from
 	// cache, i.e. the gate re-used its previous verdicts wholesale.
@@ -86,6 +90,9 @@ const (
 // job is one schedulable unit of assertion work.
 type job struct {
 	kind jobKind
+	// name is the stable job name shared with the sequential engine loop
+	// (core.JobName*): panic containment and fault injection key on it.
+	name string
 	sem  *contract.Semantic
 	// sr is the semantic report the job contributes to (structural jobs
 	// produce their own).
@@ -102,7 +109,12 @@ type job struct {
 	cacheHit bool
 	executed bool
 	testsRun int
-	tm       core.StageTimings
+	// failure records the contained job failure, if any (site and dynamic
+	// jobs; structural jobs carry theirs inside their own report). It is
+	// attached to the semantic report at merge time, single-threaded, so
+	// workers never append to a shared slice.
+	failure *core.JobFailure
+	tm      core.StageTimings
 }
 
 // semPlan groups one semantic's jobs.
@@ -119,27 +131,40 @@ type semPlan struct {
 // merged report is byte-identical (per core.AssertReport.Render) to what
 // the sequential Engine.Assert produces for the same inputs.
 func (s *Scheduler) Assert(e *core.Engine, source string, tests []ticket.TestCase, opts Options) (*core.AssertReport, *Stats, error) {
+	return s.AssertCtx(context.Background(), e, source, tests, opts)
+}
+
+// AssertCtx is Assert under an external context: cancelling ctx promptly
+// drains the pool, failing in-flight jobs with reason "cancelled".
+func (s *Scheduler) AssertCtx(ctx context.Context, e *core.Engine, source string, tests []ticket.TestCase, opts Options) (*core.AssertReport, *Stats, error) {
 	tm := core.StageTimings{}
-	ctx, err := e.Prepare(source, tests, tm)
+	actx, err := e.Prepare(source, tests, tm)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.assertContext(e, ctx, tm, opts)
+	return s.assertContext(ctx, e, actx, tm, opts)
 }
 
 // AssertSnapshot is Assert over an already-loaded system snapshot (the CI
 // gate's path: head and proposed change are loaded once and shared across
 // every job of the run).
 func (s *Scheduler) AssertSnapshot(e *core.Engine, snap *program.Snapshot, tests []ticket.TestCase, opts Options) (*core.AssertReport, *Stats, error) {
+	return s.AssertSnapshotCtx(context.Background(), e, snap, tests, opts)
+}
+
+// AssertSnapshotCtx is AssertSnapshot under an external context.
+func (s *Scheduler) AssertSnapshotCtx(ctx context.Context, e *core.Engine, snap *program.Snapshot, tests []ticket.TestCase, opts Options) (*core.AssertReport, *Stats, error) {
 	tm := core.StageTimings{}
-	ctx, err := e.PrepareSnapshot(snap, tests, tm)
+	actx, err := e.PrepareSnapshot(snap, tests, tm)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.assertContext(e, ctx, tm, opts)
+	return s.assertContext(ctx, e, actx, tm, opts)
 }
 
-func (s *Scheduler) assertContext(e *core.Engine, ctx *core.AssertContext, tm core.StageTimings, opts Options) (*core.AssertReport, *Stats, error) {
+func (s *Scheduler) assertContext(parent context.Context, e *core.Engine, ctx *core.AssertContext, tm core.StageTimings, opts Options) (*core.AssertReport, *Stats, error) {
+	rctx, cancel := e.Budget.RunContext(parent)
+	defer cancel()
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -175,8 +200,8 @@ func (s *Scheduler) assertContext(e *core.Engine, ctx *core.AssertContext, tm co
 			wave2 = append(wave2, sp.dynamic)
 		}
 	}
-	runPool(wave1, workers, func(j *job) { s.runJob(e, ctx, j) })
-	runPool(wave2, workers, func(j *job) { s.runJob(e, ctx, j) })
+	runPool(wave1, workers, func(j *job) { s.runJob(rctx, e, ctx, j) })
+	runPool(wave2, workers, func(j *job) { s.runJob(rctx, e, ctx, j) })
 
 	// Deterministic merge: registry order, site order, with per-job stage
 	// timings folded back into the run totals.
@@ -216,6 +241,15 @@ func (s *Scheduler) assertContext(e *core.Engine, ctx *core.AssertContext, tm co
 		if sp.structural != nil {
 			sr = sp.structural.sr
 		}
+		// Attach contained failures in jobs() order — the same order the
+		// sequential loop records them in — single-threaded, after the pool
+		// drained. Structural jobs already carry theirs inside their report.
+		for _, j := range jobs {
+			if j.failure != nil {
+				sr.Failures = append(sr.Failures, j.failure)
+			}
+		}
+		stats.Failures += len(sr.Failures)
 		if sp.dynamic != nil {
 			report.TestsRun += sp.dynamic.testsRun
 		}
@@ -253,6 +287,7 @@ func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty) 
 		if sem.Kind == contract.StructuralKind {
 			sp.structural = &job{
 				kind:     jobStructural,
+				name:     core.JobNameStructural(sem.ID),
 				sem:      sem,
 				fp:       structuralFingerprint(semFP, progFP, corpusFP),
 				impacted: dirty == nil || dirty.Any(),
@@ -271,6 +306,7 @@ func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty) 
 			closure := siteClosure(ctx.Graph, siteRep)
 			j := &job{
 				kind:     jobSite,
+				name:     core.JobNameSite(sem.ID, len(sp.sites)),
 				sem:      sem,
 				sr:       sp.sr,
 				siteRep:  siteRep,
@@ -286,6 +322,7 @@ func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty) 
 		if len(ctx.Tests) > 0 {
 			sp.dynamic = &job{
 				kind: jobDynamic,
+				name: core.JobNameDynamic(sem.ID),
 				sem:  sem,
 				sr:   sp.sr,
 				fp:   dynamicFingerprint(e, semFP, progFP, corpusFP, siteFPs),
@@ -301,8 +338,12 @@ func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty) 
 
 // runJob executes or cache-serves one job. Cache hits are re-anchored onto
 // the current run's report objects so downstream stages and rendering
-// always see current sites.
-func (s *Scheduler) runJob(e *core.Engine, ctx *core.AssertContext, j *job) {
+// always see current sites. Execution goes through the engine's contained
+// job wrappers — the same decomposition the sequential loop uses — so a
+// panicking or over-budget job degrades instead of killing the worker.
+// Failed jobs are never cached: a cached entry must be an authoritative
+// result, and the next run should retry.
+func (s *Scheduler) runJob(rctx context.Context, e *core.Engine, ctx *core.AssertContext, j *job) {
 	j.tm = core.StageTimings{}
 	switch j.kind {
 	case jobStructural:
@@ -311,8 +352,10 @@ func (s *Scheduler) runJob(e *core.Engine, ctx *core.AssertContext, j *job) {
 			j.cacheHit = true
 			return
 		}
-		j.sr = e.StructuralReport(ctx, j.sem, j.tm)
-		s.cache.putStructural(j.fp, j.sr)
+		j.sr = e.StructuralJob(rctx, ctx, j.name, j.sem, j.tm)
+		if len(j.sr.Failures) == 0 {
+			s.cache.putStructural(j.fp, j.sr)
+		}
 		j.executed = true
 	case jobSite:
 		if paths, truncated, ok := s.cache.getSite(j.fp); ok {
@@ -321,8 +364,10 @@ func (s *Scheduler) runJob(e *core.Engine, ctx *core.AssertContext, j *job) {
 			j.cacheHit = true
 			return
 		}
-		e.SitePaths(ctx, j.siteRep, j.tm)
-		s.cache.putSite(j.fp, j.siteRep)
+		j.failure = e.SiteJob(rctx, ctx, j.name, j.siteRep, j.tm)
+		if j.failure == nil {
+			s.cache.putSite(j.fp, j.siteRep)
+		}
 		j.executed = true
 	case jobDynamic:
 		if ov, ok := s.cache.getDynamic(j.fp); ok {
@@ -331,8 +376,10 @@ func (s *Scheduler) runJob(e *core.Engine, ctx *core.AssertContext, j *job) {
 			j.cacheHit = true
 			return
 		}
-		j.testsRun = e.DynamicReplay(ctx, j.sr, j.tm)
-		s.cache.putDynamic(j.fp, extractOverlay(j.sr, j.testsRun))
+		j.testsRun, j.failure = e.DynamicJob(rctx, ctx, j.name, j.sr, j.tm)
+		if j.failure == nil {
+			s.cache.putDynamic(j.fp, extractOverlay(j.sr, j.testsRun))
+		}
 		j.executed = true
 	}
 }

@@ -1,0 +1,74 @@
+package smt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// hardFormula builds a query whose DPLL search must enumerate every
+// assignment of n free tautological clauses before the trailing
+// contradiction (over atoms assigned last) can surface — ~2^(2n) nodes,
+// enough to trip small node ceilings and the periodic context poll.
+func hardFormula(t *testing.T, n int) Formula {
+	t.Helper()
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("(x%d > 0 || x%d <= 0) && ", i, i)
+	}
+	src += "(y > 0 && y < 0)"
+	f, err := ParsePredicate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestSolveLimNodeBudget: a node ceiling below the search size surfaces
+// ErrBudget instead of a made-up verdict.
+func TestSolveLimNodeBudget(t *testing.T) {
+	f := hardFormula(t, 6)
+	_, _, err := SolveLim(f, Limits{MaxNodes: 100})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("SolveLim with MaxNodes=100: err = %v, want ErrBudget", err)
+	}
+	// The same query under default limits decides cleanly (UNSAT).
+	sat, err := SATErr(f)
+	if err != nil {
+		t.Fatalf("SATErr under default limits: %v", err)
+	}
+	if sat {
+		t.Fatal("hard formula is UNSAT but SATErr said SAT")
+	}
+}
+
+// TestSolveLimContextCancelled: a cancelled context aborts the search via
+// the cooperative poll and surfaces the context's error.
+func TestSolveLimContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SATLim(hardFormula(t, 6), Limits{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SATLim under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSATErrMatchesSATOnDecidedQueries: the legacy SAT and the
+// error-propagating SATErr agree whenever the query decides within budget.
+func TestSATErrMatchesSATOnDecidedQueries(t *testing.T) {
+	for _, src := range []string{
+		"a > 0",
+		"a > 0 && a <= 0",
+		"s != null && s.isClosing() == false",
+	} {
+		f := MustParsePredicate(src)
+		got, err := SATErr(f)
+		if err != nil {
+			t.Fatalf("SATErr(%s): %v", src, err)
+		}
+		if want := SAT(f); got != want {
+			t.Errorf("SATErr(%s) = %v, SAT = %v", src, got, want)
+		}
+	}
+}

@@ -34,8 +34,10 @@ func ParsePredicate(src string) (Formula, error) {
 	return f, nil
 }
 
-// MustParsePredicate parses src and panics on error; for declaring contract
-// constants.
+// MustParsePredicate parses src and panics on error. It is a test helper
+// for declaring literal predicates in test tables; production code parses
+// with ParsePredicate and threads the error to its caller, so a malformed
+// predicate degrades the run instead of crashing the process.
 func MustParsePredicate(src string) Formula {
 	f, err := ParsePredicate(src)
 	if err != nil {

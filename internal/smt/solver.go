@@ -1,10 +1,13 @@
 package smt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
+
+	"lisa/internal/faultinject"
 )
 
 // Model assigns a truth value to each atom key that the solver decided.
@@ -27,12 +30,43 @@ func (m Model) String() string {
 // ErrBudget is returned when the DPLL search exceeds its node budget.
 var ErrBudget = errors.New("smt: search budget exhausted")
 
-// maxNodes bounds the DPLL search. Corpus formulas have well under twenty
-// atoms, so this is a backstop, not a practical limit.
-const maxNodes = 1 << 20
+// DefaultMaxNodes bounds the DPLL search. Corpus formulas have well under
+// twenty atoms, so this is a backstop, not a practical limit.
+const DefaultMaxNodes = 1 << 20
 
-// Solve decides satisfiability of f, returning a witness model when SAT.
+// Limits bounds one satisfiability query. The zero value applies the
+// package defaults: DefaultMaxNodes and no cancellation.
+type Limits struct {
+	// Ctx, when non-nil, is polled cooperatively during the DPLL search;
+	// cancellation or deadline expiry surfaces as the context's error.
+	Ctx context.Context
+	// MaxNodes caps search-tree nodes (<= 0 means DefaultMaxNodes).
+	MaxNodes int
+}
+
+// Solve decides satisfiability of f with default limits, returning a
+// witness model when SAT.
 func Solve(f Formula) (sat bool, model Model, err error) {
+	return SolveLim(f, Limits{})
+}
+
+// SolveLim decides satisfiability of f under explicit limits. A non-nil
+// error is ErrBudget (node ceiling hit) or the context's error; the bool
+// is meaningless then, and callers must surface the query as inconclusive
+// rather than guessing a direction.
+func SolveLim(f Formula, lim Limits) (sat bool, model Model, err error) {
+	if faultinject.Armed() {
+		switch k, ok := faultinject.At("smt.solve"); {
+		case ok && k == faultinject.Budget:
+			return false, nil, ErrBudget
+		case ok && k == faultinject.Panic:
+			panic("faultinject: smt.solve")
+		}
+	}
+	max := lim.MaxNodes
+	if max <= 0 {
+		max = DefaultMaxNodes
+	}
 	atoms := Atoms(f)
 	keys := make([]string, len(atoms))
 	byKey := make(map[string]Atom, len(atoms))
@@ -41,7 +75,7 @@ func Solve(f Formula) (sat bool, model Model, err error) {
 		keys[i] = k
 		byKey[k] = a
 	}
-	s := &solver{f: f, keys: keys, byKey: byKey, assign: Model{}}
+	s := &solver{f: f, keys: keys, byKey: byKey, assign: Model{}, max: max, ctx: lim.Ctx}
 	ok, err := s.search(0)
 	if err != nil {
 		return false, nil, err
@@ -52,10 +86,11 @@ func Solve(f Formula) (sat bool, model Model, err error) {
 	return true, s.witness, nil
 }
 
-// SAT reports whether f is satisfiable, treating budget exhaustion as
-// satisfiable (the safe direction for violation reporting: a too-complex
-// path condition surfaces for developer review rather than being silently
-// declared verified).
+// SAT reports whether f is satisfiable, treating any solver error — budget
+// exhaustion, cancellation — as satisfiable. That biases ambiguity toward
+// reporting a violation, which is acceptable for tests and offline
+// experiments but hides the degradation from the report; production
+// callers use SATErr/SATLim and surface errors as INCONCLUSIVE verdicts.
 func SAT(f Formula) bool {
 	sat, _, err := Solve(f)
 	if err != nil {
@@ -64,15 +99,53 @@ func SAT(f Formula) bool {
 	return sat
 }
 
+// SATErr reports whether f is satisfiable under default limits,
+// propagating budget exhaustion instead of folding it into the answer.
+func SATErr(f Formula) (bool, error) {
+	sat, _, err := Solve(f)
+	return sat, err
+}
+
+// SATLim is SATErr under explicit limits.
+func SATLim(f Formula, lim Limits) (bool, error) {
+	sat, _, err := SolveLim(f, lim)
+	return sat, err
+}
+
 // Implies reports whether p logically entails q (p ⇒ q), i.e. whether
-// p ∧ ¬q is unsatisfiable.
+// p ∧ ¬q is unsatisfiable. Like SAT it swallows solver errors (erring
+// toward "does not entail"); production callers use ImpliesErr/ImpliesLim.
 func Implies(p, q Formula) bool {
 	return !SAT(NewAnd(p, NewNot(q)))
+}
+
+// ImpliesErr is Implies with error propagation under default limits.
+func ImpliesErr(p, q Formula) (bool, error) {
+	sat, err := SATErr(NewAnd(p, NewNot(q)))
+	return !sat, err
+}
+
+// ImpliesLim is ImpliesErr under explicit limits.
+func ImpliesLim(p, q Formula, lim Limits) (bool, error) {
+	sat, err := SATLim(NewAnd(p, NewNot(q)), lim)
+	return !sat, err
 }
 
 // Equiv reports whether p and q are logically equivalent.
 func Equiv(p, q Formula) bool {
 	return Implies(p, q) && Implies(q, p)
+}
+
+// EquivErr is Equiv with error propagation under default limits.
+func EquivErr(p, q Formula) (bool, error) {
+	pq, err := ImpliesErr(p, q)
+	if err != nil {
+		return false, err
+	}
+	if !pq {
+		return false, nil
+	}
+	return ImpliesErr(q, p)
 }
 
 // Valid reports whether f is a tautology.
@@ -85,14 +158,23 @@ type solver struct {
 	assign  Model
 	witness Model
 	nodes   int
+	max     int
+	ctx     context.Context
 }
 
 // search assigns atoms keys[i:] and reports whether a consistent satisfying
 // assignment exists.
 func (s *solver) search(i int) (bool, error) {
 	s.nodes++
-	if s.nodes > maxNodes {
+	if s.nodes > s.max {
 		return false, ErrBudget
+	}
+	if s.ctx != nil && s.nodes&255 == 0 {
+		select {
+		case <-s.ctx.Done():
+			return false, s.ctx.Err()
+		default:
+		}
 	}
 	switch eval3(s.f, s.assign) {
 	case triFalse:
