@@ -145,6 +145,62 @@ func BenchmarkSMTSolver(b *testing.B) {
 	}
 }
 
+// solverHotPathQueries builds the gate-shaped query mix: a handful of
+// complement checks and prefix conditions over shared integer bounds and
+// string modes, discharged over and over the way a CI gate re-asserts the
+// same rules across every test's path conditions.
+func solverHotPathQueries() []smt.Formula {
+	checker := smt.MustParsePredicate(`s != null && s.isClosing() == false && s.ttl > 0 && s.retries < 8`)
+	comp := smt.Complement(checker)
+	queries := make([]smt.Formula, 0, 12)
+	for i := 0; i < 6; i++ {
+		pc := smt.MustParsePredicate(fmt.Sprintf(
+			`s != null && s.isClosing() == false && q.len >= %d && q.len <= %d && x > %d && x < y && y <= z && z <= 40 && mode == "sync"`,
+			i, i+20, i))
+		queries = append(queries, pc, smt.NewAnd(pc, comp))
+	}
+	return queries
+}
+
+// BenchmarkSolverHotPath compares the pre-PR solver (per-node closure
+// recomputation, no result cache) against the optimized hot path
+// (incremental theory propagation + process-wide query cache) on the
+// repeated-query workload the assertion gate actually produces.
+func BenchmarkSolverHotPath(b *testing.B) {
+	queries := solverHotPathQueries()
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range queries {
+				if _, _, err := smt.ReferenceSolve(f, smt.Limits{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("incremental-nocache", func(b *testing.B) {
+		defer smt.SetQueryCacheEnabled(smt.SetQueryCacheEnabled(false))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, f := range queries {
+				if _, err := smt.SATErr(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("optimized", func(b *testing.B) {
+		smt.ResetQueryCache()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, f := range queries {
+				if _, err := smt.SATErr(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkStaticPaths measures per-site path enumeration + verdicts.
 func BenchmarkStaticPaths(b *testing.B) {
 	tk := flagshipTicket()

@@ -1,31 +1,48 @@
 // Command lisabench regenerates every table and figure of the paper from
 // the simulated corpus. Run one experiment with -exp <name>, or all of
 // them with -exp all (the default). Full runs end with a wall-clock
-// ledger showing where the sweep spent its time.
+// ledger showing where the sweep spent its time, plus cache and solver
+// summaries; -json writes the same numbers to a machine-readable file so
+// the perf trajectory can be tracked across PRs (BENCH_N.json).
 //
 // Usage:
 //
 //	lisabench [-exp study|timeline|ephemeral|comparison|workflow|
 //	                generalize|hbase|hdfs|reliability|compose|ablations|
 //	                chaos|all]
-//	          [-timings=false] [-seed N]
+//	          [-timings=false] [-seed N] [-json FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lisa/internal/corpus"
 	"lisa/internal/experiments"
 	"lisa/internal/program"
 	"lisa/internal/report"
+	"lisa/internal/smt"
 )
+
+// benchOutput is the machine-readable summary -json writes: experiment
+// wall clocks plus the process-wide cache and solver counters. Benchmarks
+// carries externally-measured go-test bench results when a committed
+// BENCH_N.json merges them in.
+type benchOutput struct {
+	ExperimentsMS map[string]float64 `json:"experiments_ms"`
+	Snapshot      program.CacheStats `json:"snapshot_cache"`
+	Solver        smt.SolverStats    `json:"solver"`
+	Benchmarks    map[string]string  `json:"benchmarks,omitempty"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (use 'all' for every experiment); one of "+experiments.Names())
 	timings := flag.Bool("timings", true, "print the per-experiment wall-clock ledger after a full run")
 	seed := flag.Int64("seed", 1, "deterministic seed for seeded experiments (chaos fault plan)")
+	jsonPath := flag.String("json", "", "write bench/summary numbers (experiment wall clock, cache and solver stats) to this file")
 	flag.Parse()
 
 	experiments.ChaosSeed = *seed
@@ -48,13 +65,60 @@ func main() {
 			st := program.Stats()
 			fmt.Printf("snapshot cache: %d loads, %d hits, %d distinct versions compiled, %d call graphs built, %d evictions\n",
 				st.Hits+st.Misses, st.Hits, st.Compiles, st.GraphBuilds, st.Evictions)
+			// The solver sits under every verdict; its ledger shows how the
+			// sweep's SMT time splits between search and theory, and how
+			// much the query cache absorbed.
+			ss := smt.Stats()
+			sv := report.NewTimings()
+			sv.Record("dpll search", ss.SolveTime-ss.TheoryTime)
+			sv.Record("theory propagation", ss.TheoryTime)
+			fmt.Print(sv.Render("Solver wall clock"))
+			fmt.Print(solverLine(ss))
+		}
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, tm)
 		}
 		return
 	}
-	out, err := experiments.Run(*exp, c)
+	tm := report.NewTimings()
+	var out string
+	var err error
+	tm.Time(*exp, func() { out, err = experiments.Run(*exp, c) })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lisabench:", err)
 		os.Exit(2)
 	}
 	fmt.Print(out)
+	if *jsonPath != "" {
+		writeJSON(*jsonPath, tm)
+	}
+}
+
+// solverLine renders the one-line solver summary shown after a full sweep
+// (the line quoted in the README).
+func solverLine(ss smt.SolverStats) string {
+	return fmt.Sprintf("solver: %d queries, %d cache hits, %d misses, %d evictions; %d solves over %d search nodes\n",
+		ss.Queries, ss.CacheHits, ss.CacheMisses, ss.CacheEvictions, ss.Solves, ss.Nodes)
+}
+
+// writeJSON dumps the run's summary numbers for the perf trajectory.
+func writeJSON(path string, tm *report.Timings) {
+	out := benchOutput{
+		ExperimentsMS: map[string]float64{},
+		Snapshot:      program.Stats(),
+		Solver:        smt.Stats(),
+	}
+	for _, name := range tm.Names() {
+		out.ExperimentsMS[name] = float64(tm.Get(name)) / float64(time.Millisecond)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisabench: encode json:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "lisabench: write json:", err)
+		os.Exit(2)
+	}
 }

@@ -34,7 +34,7 @@ func ChainStaticPaths(prog *minij.Program, site *contract.Site, chain callgraph.
 			seeds = []*sframe{newSFrame(prog)}
 			continue
 		}
-		states, trunc := walkStatesTo(prog, edge.Caller, stmt.ID(), maxChainStates, seeds)
+		states, trunc := walkStatesTo(prog, edge.Caller, stmt.ID(), maxChainStates, seeds, opts)
 		truncated = truncated || trunc
 		next := make([]*sframe, 0, len(states))
 		dedup := map[string]bool{}
@@ -190,6 +190,7 @@ func inheritFrame(prog *minij.Program, caller *sframe, callee *minij.Method, cal
 				Taken: rc.guard.Taken,
 				Pos:   rc.guard.Pos,
 			},
+			roots: condRoots(f),
 		})
 	}
 	return child

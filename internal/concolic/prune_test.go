@@ -1,0 +1,107 @@
+package concolic
+
+import (
+	"testing"
+
+	"lisa/internal/contract"
+	"lisa/internal/smt"
+)
+
+// prefixPruneSrc has two reaching calls: one buried under a contradictory
+// guard prefix (x > 0 then x < 0) that no execution can satisfy, one
+// feasible. The infeasible prefix mentions only x, while the semantic binds
+// s — so relevance filtering strips the contradiction from the emitted
+// path condition and, without prefix pruning, the infeasible path is
+// emitted (and discharged) as if it were reachable.
+const prefixPruneSrc = `
+class Session {
+	bool closing;
+}
+
+class Sink {
+	void consume(Session s) {
+	}
+}
+
+class M {
+	Sink sink;
+
+	void run(int x, Session s) {
+		if (x > 0) {
+			if (x < 0) {
+				sink.consume(s);
+			}
+		}
+		if (x > 10) {
+			sink.consume(s);
+		}
+	}
+}
+`
+
+func sinkSemantic() *contract.Semantic {
+	return &contract.Semantic{
+		ID:   "sink-consume",
+		Kind: contract.StateKind,
+		Target: contract.TargetPattern{
+			Callee: "Sink.consume",
+			Bind:   map[string]int{"session": 0},
+		},
+		Pre: smt.MustParsePredicate(`session != null`),
+	}
+}
+
+// TestPrefixPruningKillsInfeasibleSubtrees: with pruning on (the default)
+// the statically infeasible site has no paths at all; the NoPrefixPrune
+// ablation restores the old behavior where its relevance-filtered (and
+// thus vacuously true) path condition is emitted.
+func TestPrefixPruningKillsInfeasibleSubtrees(t *testing.T) {
+	prog := compile(t, prefixPruneSrc)
+	sites := contract.Match(sinkSemantic(), prog)
+	if len(sites) != 2 {
+		t.Fatalf("sites = %d, want 2", len(sites))
+	}
+	prunedTotal, ablatedTotal, emptySites := 0, 0, 0
+	for _, site := range sites {
+		pruned, trunc := StaticPaths(prog, site, Options{})
+		if trunc {
+			t.Fatalf("site %s truncated", site)
+		}
+		ablated, trunc := StaticPaths(prog, site, Options{NoPrefixPrune: true})
+		if trunc {
+			t.Fatalf("site %s truncated (ablation)", site)
+		}
+		prunedTotal += len(pruned)
+		ablatedTotal += len(ablated)
+		if len(pruned) == 0 {
+			emptySites++
+			if len(ablated) == 0 {
+				t.Errorf("site %s: ablation also yields no paths; expected the infeasible path back", site)
+			}
+		}
+	}
+	if emptySites != 1 {
+		t.Errorf("sites with all paths pruned = %d, want exactly 1 (the contradictory prefix)", emptySites)
+	}
+	if prunedTotal != 1 || ablatedTotal != 2 {
+		t.Errorf("paths: pruned=%d ablated=%d, want 1 and 2", prunedTotal, ablatedTotal)
+	}
+}
+
+// TestPrefixPruningKeepsFeasiblePathsIdentical: for sites with no
+// infeasible prefix, pruning must not change the enumerated paths.
+func TestPrefixPruningKeepsFeasiblePathsIdentical(t *testing.T) {
+	prog := compile(t, zkRegressedSrc)
+	for _, site := range contract.Match(ephemeralSemantic(), prog) {
+		pruned, _ := StaticPaths(prog, site, Options{})
+		ablated, _ := StaticPaths(prog, site, Options{NoPrefixPrune: true})
+		if len(pruned) != len(ablated) {
+			t.Fatalf("site %s: pruned=%d ablated=%d paths", site, len(pruned), len(ablated))
+		}
+		for i := range pruned {
+			if pruned[i].Cond.String() != ablated[i].Cond.String() {
+				t.Errorf("site %s path %d: cond %q vs %q", site, i, pruned[i].Cond, ablated[i].Cond)
+			}
+		}
+	}
+}

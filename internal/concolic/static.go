@@ -67,7 +67,21 @@ type Options struct {
 	// the context themselves to distinguish cancellation from a full
 	// budget).
 	Ctx context.Context
+	// Lim bounds the prefix-pruning satisfiability queries issued during
+	// enumeration (zero value: solver defaults, no cancellation).
+	Lim smt.Limits
+	// NoPrefixPrune disables unsat-prefix subtree pruning (the ablation):
+	// statically infeasible branch suffixes are then enumerated and
+	// discharged path by path as before.
+	NoPrefixPrune bool
 }
+
+// ctxPollMask throttles the walker's cooperative-cancellation poll: the
+// context is checked whenever states&ctxPollMask == 0. The 256-state
+// cadence mirrors smt's search poll (and interp's wider step poll) —
+// frequent enough that cancellation lands promptly, rare enough that the
+// select stays off the enumeration hot path.
+const ctxPollMask = 1<<8 - 1
 
 // DefaultMaxPaths bounds path enumeration per site.
 const DefaultMaxPaths = 512
@@ -100,12 +114,20 @@ func staticPathsFrom(prog *minij.Program, site *contract.Site, opts Options, see
 	trunc := false
 	for _, seed := range seeds {
 		w := &staticWalker{
-			prog:     prog,
-			method:   site.Method,
-			targetID: site.Stmt.ID(),
-			maxPaths: maxPaths,
-			ctx:      opts.Ctx,
-			emit:     collector.emit,
+			prog:      prog,
+			method:    site.Method,
+			targetID:  site.Stmt.ID(),
+			maxPaths:  maxPaths,
+			ctx:       opts.Ctx,
+			lim:       opts.Lim,
+			prune:     !opts.NoPrefixPrune,
+			seedPrune: !opts.NoPrefixPrune,
+			emit:      collector.emit,
+		}
+		// A seed carrying an unsatisfiable inherited prefix can reach
+		// nothing; one query kills the whole walk.
+		if w.seedPrune && len(seed.conds) > 0 && !w.prefixSat(seed) {
+			continue
 		}
 		w.walkSeq(site.Method.Body.Stmts, 0, seed, walkCtx{}, func(*sframe) {})
 		trunc = trunc || w.trunc
@@ -119,7 +141,7 @@ func staticPathsFrom(prog *minij.Program, site *contract.Site, opts Options, see
 // walkStatesTo enumerates the symbolic states reaching an arbitrary target
 // statement of a method from the given seeds (used by chain analysis to
 // reach call sites of the next frame).
-func walkStatesTo(prog *minij.Program, m *minij.Method, targetID, maxStates int, seeds []*sframe) (states []*sframe, truncated bool) {
+func walkStatesTo(prog *minij.Program, m *minij.Method, targetID, maxStates int, seeds []*sframe, opts Options) (states []*sframe, truncated bool) {
 	trunc := false
 	for _, seed := range seeds {
 		w := &staticWalker{
@@ -127,11 +149,21 @@ func walkStatesTo(prog *minij.Program, m *minij.Method, targetID, maxStates int,
 			method:   m,
 			targetID: targetID,
 			maxPaths: maxStates,
+			ctx:      opts.Ctx,
+			lim:      opts.Lim,
+			// Fork-level pruning is deliberately off here: chain states
+			// carrying an unsatisfiable prefix die at the next frame's
+			// seed check (one query per seed), which costs far less than
+			// checking every fork of every intermediate state.
+			seedPrune: !opts.NoPrefixPrune,
 			emit: func(st *sframe) {
 				if len(states) < maxStates {
 					states = append(states, st.clone())
 				}
 			},
+		}
+		if w.seedPrune && len(seed.conds) > 0 && !w.prefixSat(seed) {
+			continue
 		}
 		w.walkSeq(m.Body.Stmts, 0, seed, walkCtx{}, func(*sframe) {})
 		trunc = trunc || w.trunc
@@ -248,6 +280,35 @@ type sframe struct {
 type recordedCond struct {
 	f     smt.Formula
 	guard GuardStep
+	// roots memoizes f's variable roots at record time so the
+	// prefix-pruning disjointness test in fork does not rewalk every prior
+	// condition. A small sorted slice: guards mention a handful of roots,
+	// so linear scans beat map allocation on this hot path.
+	roots []string
+}
+
+// condRoots collects f's distinct variable roots as a sorted slice without
+// allocating intermediate maps (unlike smt.Roots).
+func condRoots(f smt.Formula) []string {
+	var roots []string
+	add := func(p string) {
+		r := smt.Root(p)
+		for _, have := range roots {
+			if have == r {
+				return
+			}
+		}
+		roots = append(roots, r)
+	}
+	smt.VisitAtoms(f, func(a smt.Atom) bool {
+		add(a.Path)
+		if a.Kind == smt.AtomCmpV {
+			add(a.Path2)
+		}
+		return true
+	})
+	sort.Strings(roots)
+	return roots
 }
 
 func newSFrame(prog *minij.Program) *sframe {
@@ -367,11 +428,170 @@ type staticWalker struct {
 	targetID  int
 	maxPaths  int
 	ctx       context.Context
+	lim       smt.Limits
+	prune     bool
+	seedPrune bool
 	emit      func(*sframe)
 	emitted   int
 	states    int
 	trunc     bool
 	cancelled bool
+}
+
+// prefixCond conjoins the state's recorded (unfiltered) conditions.
+func prefixCond(st *sframe) smt.Formula {
+	fs := make([]smt.Formula, len(st.conds))
+	for i, rc := range st.conds {
+		fs[i] = rc.f
+	}
+	return smt.NewAnd(fs...)
+}
+
+// prefixDisjoint reports whether f shares no variable roots with the
+// state's recorded conditions. Models over disjoint roots merge, so
+// conjoining a root-disjoint condition onto a satisfiable prefix is
+// satisfiable iff the condition alone is — fork can then discharge the
+// much cheaper (and far more cacheable) single-condition query instead of
+// re-solving the whole prefix.
+// prefixOverlaps reports whether any recorded condition mentions one of
+// roots. Both sides are small sorted slices; linear scans allocate nothing.
+func prefixOverlaps(roots []string, conds []recordedCond) bool {
+	for _, rc := range conds {
+		if intersects(rc.roots, roots) {
+			return true
+		}
+	}
+	return false
+}
+
+// trivSat reports formulas satisfiable by construction, so fork can skip
+// the solver for the overwhelmingly common case of a fresh guard over
+// untouched variables: a lone literal always has a model (pick the
+// variable's value), and a disjunction is satisfiable when any disjunct
+// is. The only literal without a model is a self-comparison like x < x —
+// those (and anything structurally richer, like a conjunction) fall
+// through to the solver.
+func trivSat(f smt.Formula) bool {
+	switch n := f.(type) {
+	case *smt.AtomF:
+		return n.Atom.Kind != smt.AtomCmpV || n.Atom.Path != n.Atom.Path2
+	case *smt.Not:
+		if a, ok := n.X.(*smt.AtomF); ok {
+			return a.Atom.Kind != smt.AtomCmpV || a.Atom.Path != a.Atom.Path2
+		}
+	case *smt.Or:
+		for _, x := range n.Xs {
+			if trivSat(x) {
+				return true
+			}
+		}
+	case *smt.And:
+		// A conjunction of bool/null literals is satisfiable whenever no
+		// proposition appears in both polarities: distinct propositional
+		// atoms never interact through a theory, unlike integer or string
+		// comparisons over a shared path (which fall through to the
+		// solver). Quadratic over a handful of conjuncts — still far
+		// cheaper than rendering a cache key.
+		for i, x := range n.Xs {
+			a, neg, ok := literalAtom(x)
+			if !ok || (a.Kind != smt.AtomBool && a.Kind != smt.AtomNull) {
+				return false
+			}
+			for _, y := range n.Xs[:i] {
+				if b, bneg, _ := literalAtom(y); b.Kind == a.Kind && b.Path == a.Path && bneg != neg {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// literalAtom unwraps a literal — an atom or a negated atom.
+func literalAtom(f smt.Formula) (a smt.Atom, neg, ok bool) {
+	switch n := f.(type) {
+	case *smt.AtomF:
+		return n.Atom, false, true
+	case *smt.Not:
+		if x, isAtom := n.X.(*smt.AtomF); isAtom {
+			return x.Atom, true, true
+		}
+	}
+	return smt.Atom{}, false, false
+}
+
+// componentCond conjoins the prefix conditions transitively root-connected
+// to the state's newest condition (which must be last in st.conds).
+// Conditions over disjoint root sets constrain independent variables, so
+// the full prefix is satisfiable iff every root-connected component is —
+// and every *other* component was already verified satisfiable when its own
+// newest condition was appended. Querying just the newest component is
+// therefore as strong as re-solving the whole prefix, while rendering a
+// much shorter (and far more cacheable) formula: sibling subtrees that
+// differ only in unrelated guards share the component query verbatim.
+func componentCond(st *sframe) smt.Formula {
+	conds := st.conds
+	last := len(conds) - 1
+	inComp := make([]bool, len(conds))
+	inComp[last] = true
+	roots := append([]string(nil), conds[last].roots...)
+	for changed := true; changed; {
+		changed = false
+		for i, rc := range conds[:last] {
+			if inComp[i] || !intersects(rc.roots, roots) {
+				continue
+			}
+			inComp[i] = true
+			changed = true
+			for _, r := range rc.roots {
+				if !contains(roots, r) {
+					roots = append(roots, r)
+				}
+			}
+		}
+	}
+	fs := make([]smt.Formula, 0, len(conds))
+	for i, rc := range conds {
+		if inComp[i] {
+			fs = append(fs, rc.f)
+		}
+	}
+	return smt.NewAnd(fs...)
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func intersects(xs, ys []string) bool {
+	for _, x := range xs {
+		if contains(ys, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// prefixSat reports whether the state's path-condition prefix is
+// satisfiable. Every path in the subtree below this state carries the
+// prefix, so one UNSAT query kills the whole subtree instead of letting
+// each descendant path be enumerated and discharged separately; shared
+// prefixes across sibling subtrees resolve out of the solver's result
+// cache. Solver errors — budget, cancellation, injected faults — keep the
+// subtree: pruning is an optimization and must not change which paths
+// exist under degraded semantics.
+func (w *staticWalker) prefixSat(st *sframe) bool {
+	sat, err := smt.SATLim(prefixCond(st), w.lim)
+	if err != nil {
+		return true
+	}
+	return sat
 }
 
 func (w *staticWalker) full() bool {
@@ -381,7 +601,7 @@ func (w *staticWalker) full() bool {
 // walkSeq walks stmts[i:], calling k when the sequence completes normally.
 func (w *staticWalker) walkSeq(stmts []minij.Stmt, i int, st *sframe, ctx walkCtx, k func(*sframe)) {
 	w.states++
-	if w.ctx != nil && w.states&255 == 0 {
+	if w.ctx != nil && w.states&ctxPollMask == 0 {
 		select {
 		case <-w.ctx.Done():
 			w.cancelled = true
@@ -521,10 +741,27 @@ func (w *staticWalker) fork(s minij.Stmt, cond minij.Expr, st *sframe, taken boo
 				return
 			}
 		} else {
+			var roots []string
+			if w.prune {
+				roots = condRoots(f)
+			}
 			st2.conds = append(st2.conds, recordedCond{
 				f:     f,
 				guard: GuardStep{Guard: minij.CanonExpr(cond), Taken: taken, Pos: cond.Pos()},
+				roots: roots,
 			})
+			if w.prune {
+				// Solver errors keep the subtree, exactly as in prefixSat.
+				check := f
+				if prefixOverlaps(roots, st.conds) {
+					check = componentCond(st2)
+				}
+				if !trivSat(check) {
+					if sat, err := smt.SATLim(check, w.lim); err == nil && !sat {
+						return
+					}
+				}
+			}
 		}
 	}
 	k(st2)

@@ -42,6 +42,10 @@ type Engine struct {
 	MaxStaticPaths int
 	// NoPrune disables relevant-variable pruning (ablation).
 	NoPrune bool
+	// NoPrefixPrune disables unsat-prefix subtree pruning during path
+	// enumeration (ablation): statically infeasible subtrees are then
+	// enumerated and discharged path by path.
+	NoPrefixPrune bool
 	// IntraOnly disables interprocedural condition inheritance along
 	// execution-tree chains (ablation: guards in callers are then
 	// invisible, flagging internal helpers their callers protect).
@@ -542,8 +546,14 @@ func (e *Engine) SitePaths(rctx context.Context, ctx *AssertContext, siteRep *Si
 	site := siteRep.Site
 	var stageErr error
 	tm.Time("static-paths", func() {
-		opts := concolic.Options{MaxPaths: e.MaxStaticPaths, NoPrune: e.NoPrune, Ctx: rctx}
 		lim := e.solverLimits(rctx)
+		opts := concolic.Options{
+			MaxPaths:      e.MaxStaticPaths,
+			NoPrune:       e.NoPrune,
+			Ctx:           rctx,
+			Lim:           lim,
+			NoPrefixPrune: e.NoPrefixPrune,
+		}
 		chains := siteRep.Chains
 		if e.IntraOnly || len(chains) == 0 {
 			chains = []callgraph.Path{nil}

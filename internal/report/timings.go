@@ -46,6 +46,10 @@ func (t *Timings) Total() time.Duration {
 // Get returns the accumulated duration for name (zero if absent).
 func (t *Timings) Get(name string) time.Duration { return t.totals[name] }
 
+// Names lists the recorded entries in first-recorded order (a copy; safe
+// for callers to keep).
+func (t *Timings) Names() []string { return append([]string(nil), t.names...) }
+
 // Render draws the ledger as a table with per-entry share of the total.
 func (t *Timings) Render(title string) string {
 	tb := &Table{Title: title, Headers: []string{"stage", "wall clock", "share"}}

@@ -17,6 +17,7 @@ import (
 	"lisa/internal/core"
 	"lisa/internal/minij"
 	"lisa/internal/program"
+	"lisa/internal/smt"
 	"lisa/internal/ticket"
 )
 
@@ -64,6 +65,13 @@ type Stats struct {
 	DirtyMethods []string
 	// DirtyAll marks a change that could not be localized to method bodies.
 	DirtyAll bool
+	// SolverQueries and SolverCacheHits are deltas of the process-wide
+	// smt counters observed across this run: how many satisfiability
+	// queries the run issued and how many the solver result cache
+	// answered. Observability only — job fingerprints do not include them
+	// — and approximate when other runs share the process concurrently.
+	SolverQueries   uint64
+	SolverCacheHits uint64
 }
 
 // Scheduler executes assertion runs over a persistent fingerprint cache.
@@ -170,6 +178,12 @@ func (s *Scheduler) assertContext(parent context.Context, e *core.Engine, ctx *c
 		workers = runtime.GOMAXPROCS(0)
 	}
 	stats := &Stats{Workers: workers}
+	solverBefore := smt.Stats()
+	defer func() {
+		solverAfter := smt.Stats()
+		stats.SolverQueries = solverAfter.Queries - solverBefore.Queries
+		stats.SolverCacheHits = solverAfter.CacheHits - solverBefore.CacheHits
+	}()
 
 	var dirty *Dirty
 	if opts.Incremental && (opts.Base != nil || opts.BaseSource != "") {

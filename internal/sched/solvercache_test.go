@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"testing"
+
+	"lisa/internal/corpus"
+	"lisa/internal/smt"
+)
+
+// TestSolverCacheDoesNotChangeReports: the process-wide solver result
+// cache must be invisible in rendered output — for every corpus case the
+// sequential engine renders byte-identical reports with the cache cold,
+// warm, and disabled entirely.
+func TestSolverCacheDoesNotChangeReports(t *testing.T) {
+	for _, cs := range corpus.Load().Cases {
+		cs := cs
+		t.Run(cs.ID, func(t *testing.T) {
+			e := engineForCase(t, cs)
+			if e.Registry.Len() == 0 {
+				t.Skipf("no rules registered for %s", cs.ID)
+			}
+			smt.ResetQueryCache()
+			cold, err := e.Assert(cs.Head(), cs.Tests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := e.Assert(cs.Head(), cs.Tests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := smt.SetQueryCacheEnabled(false)
+			off, err := e.Assert(cs.Head(), cs.Tests)
+			smt.SetQueryCacheEnabled(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.Render() != warm.Render() {
+				t.Errorf("warm solver cache changed the report\n--- cold ---\n%s\n--- warm ---\n%s", cold.Render(), warm.Render())
+			}
+			if cold.Render() != off.Render() {
+				t.Errorf("disabling the solver cache changed the report\n--- on ---\n%s\n--- off ---\n%s", cold.Render(), off.Render())
+			}
+		})
+	}
+}
+
+// TestStatsCarrySolverDeltas: a scheduled run reports how many solver
+// queries it issued; a fresh formula-heavy run must issue at least one.
+func TestStatsCarrySolverDeltas(t *testing.T) {
+	e := engineWithRule(t)
+	s := New()
+	_, stats, err := s.Assert(e, sysFixed, testSuite(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SolverQueries == 0 {
+		t.Error("cold scheduled run reported zero solver queries")
+	}
+	if stats.SolverCacheHits > stats.SolverQueries {
+		t.Errorf("solver cache hits (%d) exceed queries (%d)", stats.SolverCacheHits, stats.SolverQueries)
+	}
+}

@@ -1,0 +1,201 @@
+package smt
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lisa/internal/faultinject"
+)
+
+// SolverStats is a snapshot of the process-wide solver counters.
+type SolverStats struct {
+	// Queries counts public satisfiability queries (SAT*/Solve*; Implies
+	// and Equiv count each underlying SAT call).
+	Queries uint64 `json:"queries"`
+	// CacheHits / CacheMisses / CacheEvictions describe the boolean result
+	// cache. Queries that bypass the cache (model queries, cache disabled,
+	// fault injection armed) count in neither bucket.
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// Solves counts DPLL searches actually run; Nodes the search-tree nodes
+	// across all of them.
+	Solves uint64 `json:"solves"`
+	Nodes  uint64 `json:"nodes"`
+	// SolveTime is wall clock inside the solver; TheoryTime the portion
+	// spent in incremental theory asserts.
+	SolveTime  time.Duration `json:"solve_time_ns"`
+	TheoryTime time.Duration `json:"theory_time_ns"`
+}
+
+var stats struct {
+	queries, hits, misses, evictions, solves, nodes atomic.Uint64
+	solveNS, theoryNS                               atomic.Int64
+}
+
+// Stats returns a snapshot of the process-wide solver counters.
+func Stats() SolverStats {
+	return SolverStats{
+		Queries:        stats.queries.Load(),
+		CacheHits:      stats.hits.Load(),
+		CacheMisses:    stats.misses.Load(),
+		CacheEvictions: stats.evictions.Load(),
+		Solves:         stats.solves.Load(),
+		Nodes:          stats.nodes.Load(),
+		SolveTime:      time.Duration(stats.solveNS.Load()),
+		TheoryTime:     time.Duration(stats.theoryNS.Load()),
+	}
+}
+
+// DefaultQueryCacheCap bounds the process-wide solver result cache. Corpus
+// runs issue a few thousand distinct queries; the cap is a memory backstop,
+// not a tuning knob.
+const DefaultQueryCacheCap = 4096
+
+// queryCache is a bounded LRU of decided boolean queries keyed by the
+// formula's canonical render (TestRenderParseRoundTrip pins down that equal
+// renders imply equivalent formulas, so the render is a sound key). It has
+// singleflight semantics: concurrent misses on one key run a single solve,
+// and followers wait on the leader instead of duplicating work. Modeled on
+// internal/program.Cache.
+type queryCache struct {
+	mu       sync.Mutex
+	cap      int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used; values are *cacheEntry
+	inflight map[string]*inflightQuery
+}
+
+// cacheEntry remembers the verdict and how many search nodes deciding it
+// consumed. Hits are only served to callers whose node budget covers that
+// count, so budget-limited callers behave byte-identically warm or cold.
+type cacheEntry struct {
+	key   string
+	sat   bool
+	nodes int
+}
+
+type inflightQuery struct {
+	done  chan struct{}
+	sat   bool
+	nodes int
+	err   error
+}
+
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{
+		cap:      capacity,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+		inflight: map[string]*inflightQuery{},
+	}
+}
+
+var (
+	cacheEnabled atomic.Bool
+	queryResults = newQueryCache(DefaultQueryCacheCap)
+)
+
+func init() { cacheEnabled.Store(true) }
+
+// SetQueryCacheEnabled toggles the process-wide solver result cache
+// (ablation runs and tests) and returns the previous setting.
+func SetQueryCacheEnabled(on bool) bool { return cacheEnabled.Swap(on) }
+
+// ResetQueryCache drops every cached query result. Counters are kept;
+// in-flight solves complete and store into the emptied cache.
+func ResetQueryCache() {
+	queryResults.mu.Lock()
+	defer queryResults.mu.Unlock()
+	queryResults.entries = map[string]*list.Element{}
+	queryResults.order.Init()
+}
+
+// satCached answers a boolean satisfiability query through the result
+// cache. Errors (budget, cancellation) are never cached. While fault
+// injection is armed the cache is bypassed entirely — no reads and no
+// writes — so injected faults fire with the cadence a cold process would
+// see and results computed under injection never poison later runs.
+func satCached(f Formula, lim Limits) (bool, error) {
+	stats.queries.Add(1)
+	if c, ok := f.(*Const); ok {
+		return c.Value, nil
+	}
+	if !cacheEnabled.Load() || faultinject.Armed() {
+		sat, _, _, err := solveCore(f, lim)
+		return sat, err
+	}
+	max := lim.MaxNodes
+	if max <= 0 {
+		max = DefaultMaxNodes
+	}
+	return queryResults.load(f.String(), max, func() (bool, int, error) {
+		sat, _, nodes, err := solveCore(f, lim)
+		return sat, nodes, err
+	})
+}
+
+// load returns the cached verdict for key, joining or becoming the leader
+// of an in-flight solve on miss. A cached or in-flight result is only
+// reused when its node count fits maxNodes; otherwise this caller re-solves
+// under its own limits so ErrBudget surfaces exactly as it would uncached.
+func (c *queryCache) load(key string, maxNodes int, solve func() (bool, int, error)) (bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.nodes <= maxNodes {
+			c.order.MoveToFront(el)
+			c.mu.Unlock()
+			stats.hits.Add(1)
+			return e.sat, nil
+		}
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err == nil && fl.nodes <= maxNodes {
+			stats.hits.Add(1)
+			return fl.sat, nil
+		}
+		// The leader was degraded (budget, cancellation) or needed more
+		// nodes than we may spend; solve under our own limits.
+		stats.misses.Add(1)
+		sat, nodes, err := solve()
+		if err == nil {
+			c.store(key, sat, nodes)
+		}
+		return sat, err
+	}
+	fl := &inflightQuery{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+	stats.misses.Add(1)
+	fl.sat, fl.nodes, fl.err = solve()
+	close(fl.done)
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	if fl.err == nil {
+		c.store(key, fl.sat, fl.nodes)
+	}
+	return fl.sat, fl.err
+}
+
+// store inserts a decided query, evicting from the LRU tail past capacity.
+func (c *queryCache) store(key string, sat bool, nodes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, sat: sat, nodes: nodes})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		stats.evictions.Add(1)
+	}
+}

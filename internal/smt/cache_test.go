@@ -1,0 +1,159 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestQueryCacheLRU: capacity bounds the cache, eviction drops the least
+// recently used key, and hits refresh recency.
+func TestQueryCacheLRU(t *testing.T) {
+	c := newQueryCache(2)
+	solves := 0
+	get := func(key string) {
+		t.Helper()
+		sat, err := c.load(key, DefaultMaxNodes, func() (bool, int, error) {
+			solves++
+			return true, 1, nil
+		})
+		if err != nil || !sat {
+			t.Fatalf("load(%s) = %v, %v", key, sat, err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now LRU
+	get("c") // evicts b
+	if solves != 3 {
+		t.Fatalf("solves = %d, want 3", solves)
+	}
+	get("a")
+	get("c")
+	if solves != 3 {
+		t.Fatalf("solves after warm hits = %d, want 3", solves)
+	}
+	get("b") // was evicted: re-solves
+	if solves != 4 {
+		t.Fatalf("solves after evicted key = %d, want 4", solves)
+	}
+}
+
+// TestQueryCacheNeverCachesErrors: a failed solve is not stored; the next
+// caller re-solves.
+func TestQueryCacheNeverCachesErrors(t *testing.T) {
+	c := newQueryCache(4)
+	calls := 0
+	boom := errors.New("boom")
+	if _, err := c.load("k", 100, func() (bool, int, error) {
+		calls++
+		return false, 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	sat, err := c.load("k", 100, func() (bool, int, error) {
+		calls++
+		return true, 1, nil
+	})
+	if err != nil || !sat || calls != 2 {
+		t.Fatalf("after error: sat=%v err=%v calls=%d, want true/nil/2", sat, err, calls)
+	}
+	if _, err := c.load("k", 100, func() (bool, int, error) {
+		calls++
+		return false, 0, nil
+	}); err != nil || calls != 2 {
+		t.Fatalf("warm hit re-solved: calls=%d err=%v", calls, err)
+	}
+}
+
+// TestQueryCacheBudgetAwareHits: a hit is only served when the cached
+// decision fit inside the caller's node budget, so ErrBudget surfaces
+// byte-identically warm or cold.
+func TestQueryCacheBudgetAwareHits(t *testing.T) {
+	c := newQueryCache(4)
+	if _, err := c.load("k", 1000, func() (bool, int, error) { return true, 50, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A caller allowed fewer nodes than the decision needed must re-solve
+	// (and here, run out of budget exactly as a cold process would).
+	if _, err := c.load("k", 10, func() (bool, int, error) { return false, 0, ErrBudget }); !errors.Is(err, ErrBudget) {
+		t.Fatalf("small-budget caller: err = %v, want ErrBudget", err)
+	}
+	// A caller whose budget covers the cached decision hits without solving.
+	solved := false
+	sat, err := c.load("k", 50, func() (bool, int, error) { solved = true; return false, 0, nil })
+	if err != nil || !sat || solved {
+		t.Fatalf("covered-budget caller: sat=%v err=%v solved=%v, want hit", sat, err, solved)
+	}
+}
+
+// TestSolverCacheConcurrent hammers the process-wide solver cache from 8
+// goroutines over a shared formula pool; every answer must match the
+// reference solver's. Runs under -race in verify.sh.
+func TestSolverCacheConcurrent(t *testing.T) {
+	r := newTestRng(99)
+	formulas := make([]Formula, 0, 64)
+	for len(formulas) < 64 {
+		f := genDiffFormula(r, 3)
+		if _, isConst := f.(*Const); isConst {
+			continue
+		}
+		formulas = append(formulas, f)
+	}
+	want := make([]bool, len(formulas))
+	for i, f := range formulas {
+		sat, _, err := ReferenceSolve(f, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = sat
+	}
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := newTestRng(int64(1000 + g))
+			for iter := 0; iter < 500; iter++ {
+				i := rng.intn(len(formulas))
+				sat, err := SATErr(formulas[i])
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: SATErr(%s): %v", g, formulas[i], err)
+					return
+				}
+				if sat != want[i] {
+					errs <- fmt.Errorf("goroutine %d: SATErr(%s) = %v, want %v", g, formulas[i], sat, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryCacheDisabledStillCorrect: the ablation toggle routes queries
+// straight to the solver with identical answers.
+func TestQueryCacheDisabledStillCorrect(t *testing.T) {
+	defer SetQueryCacheEnabled(SetQueryCacheEnabled(false))
+	r := newTestRng(5)
+	for i := 0; i < 200; i++ {
+		f := genDiffFormula(r, 3)
+		got, err := SATErr(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSat, _, err := ReferenceSolve(f, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != wantSat {
+			t.Fatalf("#%d %s: cache-off SATErr = %v, reference = %v", i, f, got, wantSat)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package smt
+
+import (
+	"errors"
+	"testing"
+)
+
+// genDiffLeaf mirrors genLeaf but adds the string theory, so differential
+// fuzzing exercises all three atom theories (integer bounds, string
+// equality, propositional bool/null).
+func genDiffLeaf(r *testRng) Formula {
+	vars := []string{"x", "y", "z"}
+	bools := []string{"p", "q"}
+	strs := []string{"mode", "state.name"}
+	vals := []string{"open", "closed", ""}
+	ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	switch r.intn(5) {
+	case 0:
+		return NewAtom(BoolAtom(bools[r.intn(len(bools))]))
+	case 1:
+		return NewAtom(NullAtom(vars[r.intn(len(vars))]))
+	case 2:
+		return NewAtom(CmpCAtom(vars[r.intn(len(vars))], ops[r.intn(len(ops))], int64(r.intn(5))))
+	case 3:
+		return NewAtom(CmpVAtom(vars[r.intn(len(vars))], ops[r.intn(len(ops))], vars[r.intn(len(vars))]))
+	default:
+		op := OpEq
+		if r.intn(2) == 0 {
+			op = OpNe
+		}
+		return NewAtom(StrEqAtom(strs[r.intn(len(strs))], op, vals[r.intn(len(vals))]))
+	}
+}
+
+func genDiffFormula(r *testRng, depth int) Formula {
+	if depth <= 0 {
+		return genDiffLeaf(r)
+	}
+	switch r.intn(6) {
+	case 0:
+		return NewNot(genDiffFormula(r, depth-1))
+	case 1, 2:
+		return NewAnd(genDiffFormula(r, depth-1), genDiffFormula(r, depth-1))
+	case 3, 4:
+		return NewOr(genDiffFormula(r, depth-1), genDiffFormula(r, depth-1))
+	default:
+		return genDiffLeaf(r)
+	}
+}
+
+// TestDifferentialOptimizedVsReference: the optimized pipeline (unit
+// propagation, ordering, incremental theory) and the retained naive
+// reference solver must agree on sat/unsat for seeded random formulas, and
+// every SAT witness from the optimized solver must actually satisfy the
+// formula.
+func TestDifferentialOptimizedVsReference(t *testing.T) {
+	r := newTestRng(42)
+	for i := 0; i < 2000; i++ {
+		f := genDiffFormula(r, 4)
+		optSat, model, optErr := SolveLim(f, Limits{})
+		refSat, _, refErr := ReferenceSolve(f, Limits{})
+		if optErr != nil || refErr != nil {
+			t.Fatalf("#%d %s: unexpected error opt=%v ref=%v", i, f, optErr, refErr)
+		}
+		if optSat != refSat {
+			t.Fatalf("#%d %s: optimized says sat=%v, reference says sat=%v", i, f, optSat, refSat)
+		}
+		if optSat && eval3(f, model) != triTrue {
+			t.Fatalf("#%d %s: optimized witness %v does not satisfy the formula", i, f, model)
+		}
+	}
+}
+
+// TestDifferentialBudgetSurfacing: under a tiny node ceiling each solver
+// either surfaces ErrBudget (never some other error, never a made-up
+// verdict) or decides; whenever both decide they must agree.
+func TestDifferentialBudgetSurfacing(t *testing.T) {
+	r := newTestRng(7)
+	for i := 0; i < 800; i++ {
+		f := genDiffFormula(r, 5)
+		lim := Limits{MaxNodes: 40}
+		optSat, _, optErr := SolveLim(f, lim)
+		refSat, _, refErr := ReferenceSolve(f, lim)
+		if optErr != nil && !errors.Is(optErr, ErrBudget) {
+			t.Fatalf("#%d %s: optimized error %v, want ErrBudget", i, f, optErr)
+		}
+		if refErr != nil && !errors.Is(refErr, ErrBudget) {
+			t.Fatalf("#%d %s: reference error %v, want ErrBudget", i, f, refErr)
+		}
+		if optErr == nil && refErr == nil && optSat != refSat {
+			t.Fatalf("#%d %s: optimized says sat=%v, reference says sat=%v", i, f, optSat, refSat)
+		}
+	}
+}

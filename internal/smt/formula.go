@@ -464,6 +464,31 @@ func Atoms(f Formula) []Atom {
 	return out
 }
 
+// VisitAtoms calls visit for every atom occurrence in f (duplicates
+// included, no canonicalization) until visit returns false. Unlike Atoms it
+// allocates nothing, so hot paths can scan formulas per candidate state.
+func VisitAtoms(f Formula, visit func(Atom) bool) bool {
+	switch n := f.(type) {
+	case *AtomF:
+		return visit(n.Atom)
+	case *Not:
+		return VisitAtoms(n.X, visit)
+	case *And:
+		for _, x := range n.Xs {
+			if !VisitAtoms(x, visit) {
+				return false
+			}
+		}
+	case *Or:
+		for _, x := range n.Xs {
+			if !VisitAtoms(x, visit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Paths returns the set of dotted paths mentioned anywhere in f.
 func Paths(f Formula) map[string]bool {
 	out := map[string]bool{}

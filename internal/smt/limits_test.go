@@ -9,15 +9,21 @@ import (
 
 // hardFormula builds a query whose DPLL search must enumerate every
 // assignment of n free tautological clauses before the trailing
-// contradiction (over atoms assigned last) can surface — ~2^(2n) nodes,
-// enough to trip small node ceilings and the periodic context poll.
+// contradiction (over atoms assigned last) can surface — >2^n nodes,
+// enough to trip small node ceilings and the periodic context poll. Two
+// details defeat the optimized solver's shortcuts on purpose: the
+// contradiction is spread across four two-literal Or clauses so unit
+// propagation cannot see it, and each tautological clause is repeated so
+// its atom outranks the tail atoms under the most-constrained-first
+// ordering and is decided first.
 func hardFormula(t *testing.T, n int) Formula {
 	t.Helper()
 	src := ""
 	for i := 0; i < n; i++ {
-		src += fmt.Sprintf("(x%d > 0 || x%d <= 0) && ", i, i)
+		cl := fmt.Sprintf("(x%d > 0 || x%d <= 0)", i, i)
+		src += cl + " && " + cl + " && " + cl + " && "
 	}
-	src += "(y > 0 && y < 0)"
+	src += "(y > 0 || z > 0) && (y > 0 || z <= 0) && (y <= 0 || z > 0) && (y <= 0 || z <= 0)"
 	f, err := ParsePredicate(src)
 	if err != nil {
 		t.Fatal(err)
@@ -46,6 +52,9 @@ func TestSolveLimNodeBudget(t *testing.T) {
 // TestSolveLimContextCancelled: a cancelled context aborts the search via
 // the cooperative poll and surfaces the context's error.
 func TestSolveLimContextCancelled(t *testing.T) {
+	// Bypass the result cache: this exercises the search's cooperative
+	// poll, and a warm cache would answer before the search ever runs.
+	defer SetQueryCacheEnabled(SetQueryCacheEnabled(false))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := SATLim(hardFormula(t, 6), Limits{Ctx: ctx})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"lisa/internal/faultinject"
 )
@@ -34,6 +35,14 @@ var ErrBudget = errors.New("smt: search budget exhausted")
 // twenty atoms, so this is a backstop, not a practical limit.
 const DefaultMaxNodes = 1 << 20
 
+// ctxPollMask throttles the cooperative-cancellation poll: the DPLL search
+// checks Limits.Ctx whenever nodes&ctxPollMask == 0. A 256-node cadence
+// keeps the select off the hot loop while bounding cancellation latency to
+// far below a millisecond of search; interp uses the same pattern (its
+// ctxPollMask is wider because interpreter steps are cheaper than search
+// nodes).
+const ctxPollMask = 1<<8 - 1
+
 // Limits bounds one satisfiability query. The zero value applies the
 // package defaults: DefaultMaxNodes and no cancellation.
 type Limits struct {
@@ -53,37 +62,37 @@ func Solve(f Formula) (sat bool, model Model, err error) {
 // SolveLim decides satisfiability of f under explicit limits. A non-nil
 // error is ErrBudget (node ceiling hit) or the context's error; the bool
 // is meaningless then, and callers must surface the query as inconclusive
-// rather than guessing a direction.
+// rather than guessing a direction. Model-returning queries bypass the
+// boolean result cache.
 func SolveLim(f Formula, lim Limits) (sat bool, model Model, err error) {
+	stats.queries.Add(1)
+	sat, model, _, err = solveCore(f, lim)
+	return sat, model, err
+}
+
+// solveCore runs one uncached solve: fault injection first (so injected
+// faults keep firing on every cache miss), then the optimized DPLL(T)
+// search, updating the package counters exactly once per solve.
+func solveCore(f Formula, lim Limits) (sat bool, model Model, nodes int, err error) {
 	if faultinject.Armed() {
 		switch k, ok := faultinject.At("smt.solve"); {
 		case ok && k == faultinject.Budget:
-			return false, nil, ErrBudget
+			return false, nil, 0, ErrBudget
 		case ok && k == faultinject.Panic:
 			panic("faultinject: smt.solve")
 		}
 	}
-	max := lim.MaxNodes
-	if max <= 0 {
-		max = DefaultMaxNodes
-	}
-	atoms := Atoms(f)
-	keys := make([]string, len(atoms))
-	byKey := make(map[string]Atom, len(atoms))
-	for i, a := range atoms {
-		k, _ := a.Key()
-		keys[i] = k
-		byKey[k] = a
-	}
-	s := &solver{f: f, keys: keys, byKey: byKey, assign: Model{}, max: max, ctx: lim.Ctx}
-	ok, err := s.search(0)
+	start := time.Now()
+	var theoryTime time.Duration
+	sat, model, nodes, theoryTime, err = runSolver(f, lim)
+	stats.solves.Add(1)
+	stats.nodes.Add(uint64(nodes))
+	stats.solveNS.Add(int64(time.Since(start)))
+	stats.theoryNS.Add(int64(theoryTime))
 	if err != nil {
-		return false, nil, err
+		return false, nil, nodes, err
 	}
-	if !ok {
-		return false, nil, nil
-	}
-	return true, s.witness, nil
+	return sat, model, nodes, nil
 }
 
 // SAT reports whether f is satisfiable, treating any solver error — budget
@@ -92,7 +101,7 @@ func SolveLim(f Formula, lim Limits) (sat bool, model Model, err error) {
 // experiments but hides the degradation from the report; production
 // callers use SATErr/SATLim and surface errors as INCONCLUSIVE verdicts.
 func SAT(f Formula) bool {
-	sat, _, err := Solve(f)
+	sat, err := satCached(f, Limits{})
 	if err != nil {
 		return true
 	}
@@ -102,14 +111,12 @@ func SAT(f Formula) bool {
 // SATErr reports whether f is satisfiable under default limits,
 // propagating budget exhaustion instead of folding it into the answer.
 func SATErr(f Formula) (bool, error) {
-	sat, _, err := Solve(f)
-	return sat, err
+	return satCached(f, Limits{})
 }
 
 // SATLim is SATErr under explicit limits.
 func SATLim(f Formula, lim Limits) (bool, error) {
-	sat, _, err := SolveLim(f, lim)
-	return sat, err
+	return satCached(f, lim)
 }
 
 // Implies reports whether p logically entails q (p ⇒ q), i.e. whether
@@ -151,25 +158,103 @@ func EquivErr(p, q Formula) (bool, error) {
 // Valid reports whether f is a tautology.
 func Valid(f Formula) bool { return !SAT(NewNot(f)) }
 
+// solver is the optimized DPLL(T) search: unit-propagated literals are
+// pre-assigned, remaining atoms are decided most-constrained-first, and the
+// theory state is carried incrementally (mark/assert/pop) instead of being
+// rebuilt at every node.
 type solver struct {
 	f       Formula
-	keys    []string
+	order   []string // decision keys, most-constrained-first; units excluded
 	byKey   map[string]Atom
 	assign  Model
-	witness Model
+	witness Model // scratch model reused for the SAT result
+	th      *theory
 	nodes   int
 	max     int
 	ctx     context.Context
 }
 
-// search assigns atoms keys[i:] and reports whether a consistent satisfying
-// assignment exists.
+// runSolver prepares and runs one optimized search, returning the verdict,
+// witness, node count, and theory wall clock.
+func runSolver(f Formula, lim Limits) (bool, Model, int, time.Duration, error) {
+	max := lim.MaxNodes
+	if max <= 0 {
+		max = DefaultMaxNodes
+	}
+	f = simplify(f)
+	atoms := Atoms(f)
+	byKey := make(map[string]Atom, len(atoms))
+	for _, a := range atoms {
+		k, _ := a.Key()
+		byKey[k] = a
+	}
+	th := newTheory(atoms)
+
+	// Unit propagation: literals on the top-level conjunction spine are
+	// forced before any search happens. A propositional conflict among them
+	// (or a false constant conjunct) decides UNSAT at zero nodes; a theory
+	// conflict does the same.
+	units, conflict := unitLiterals(f)
+	if conflict {
+		return false, nil, 0, th.elapsed, nil
+	}
+	assign := make(Model, len(atoms))
+	for k, v := range units {
+		assign[k] = v
+		if !th.assert(byKey[k], v) {
+			return false, nil, 0, th.elapsed, nil
+		}
+	}
+
+	// Most-constrained-first decision order: atoms occurring most often are
+	// decided first so conflicts surface high in the tree; ties break on the
+	// canonical key for determinism.
+	counts := map[string]int{}
+	countAtoms(f, counts)
+	order := make([]string, 0, len(atoms))
+	for _, a := range atoms {
+		k, _ := a.Key()
+		if _, isUnit := units[k]; !isUnit {
+			order = append(order, k)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if counts[order[i]] != counts[order[j]] {
+			return counts[order[i]] > counts[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	s := &solver{
+		f:       f,
+		order:   order,
+		byKey:   byKey,
+		assign:  assign,
+		witness: make(Model, len(atoms)),
+		th:      th,
+		max:     max,
+		ctx:     lim.Ctx,
+	}
+	ok, err := s.search(0)
+	if err != nil {
+		return false, nil, s.nodes, th.elapsed, err
+	}
+	if !ok {
+		return false, nil, s.nodes, th.elapsed, nil
+	}
+	return true, s.witness, s.nodes, th.elapsed, nil
+}
+
+// search decides atoms order[i:] and reports whether a theory-consistent
+// satisfying assignment exists. The theory is consistent on entry by
+// construction — every assigned literal was accepted by an incremental
+// assert on the way down — so no per-node recheck is needed.
 func (s *solver) search(i int) (bool, error) {
 	s.nodes++
 	if s.nodes > s.max {
 		return false, ErrBudget
 	}
-	if s.ctx != nil && s.nodes&255 == 0 {
+	if s.ctx != nil && s.nodes&ctxPollMask == 0 {
 		select {
 		case <-s.ctx.Done():
 			return false, s.ctx.Err()
@@ -180,34 +265,114 @@ func (s *solver) search(i int) (bool, error) {
 	case triFalse:
 		return false, nil
 	case triTrue:
-		if s.theoryConsistent() {
-			s.witness = make(Model, len(s.assign))
-			for k, v := range s.assign {
-				s.witness[k] = v
-			}
-			return true, nil
+		// Fill the preallocated scratch witness; the success path returns
+		// straight up the stack, so the assignment is never unwound from
+		// under it.
+		for k, v := range s.assign {
+			s.witness[k] = v
 		}
-		return false, nil
+		return true, nil
 	}
-	if i >= len(s.keys) {
+	if i >= len(s.order) {
 		// All atoms assigned yet value unknown cannot happen; defensive.
 		return false, nil
 	}
-	k := s.keys[i]
-	for _, v := range []bool{true, false} {
+	k := s.order[i]
+	a := s.byKey[k]
+	for _, v := range [2]bool{true, false} {
 		s.assign[k] = v
-		if s.theoryConsistent() {
+		s.th.mark()
+		if s.th.assert(a, v) {
 			ok, err := s.search(i + 1)
-			if err != nil {
-				return false, err
-			}
-			if ok {
-				return true, nil
+			if ok || err != nil {
+				return ok, err
 			}
 		}
+		s.th.pop()
 		delete(s.assign, k)
 	}
 	return false, nil
+}
+
+// unitLiterals extracts the literals forced by f's top-level conjunction
+// spine. The second result reports a propositional contradiction among the
+// units (or a false constant conjunct), which decides UNSAT outright.
+func unitLiterals(f Formula) (Model, bool) {
+	units := Model{}
+	conflict := false
+	var walk func(Formula)
+	walk = func(g Formula) {
+		switch n := g.(type) {
+		case *And:
+			for _, x := range n.Xs {
+				walk(x)
+			}
+		case *AtomF:
+			k, neg := n.Atom.Key()
+			want := !neg
+			if prev, ok := units[k]; ok && prev != want {
+				conflict = true
+			}
+			units[k] = want
+		case *Not:
+			if af, ok := n.X.(*AtomF); ok {
+				k, neg := af.Atom.Key()
+				want := neg
+				if prev, ok := units[k]; ok && prev != want {
+					conflict = true
+				}
+				units[k] = want
+			}
+		case *Const:
+			if !n.Value {
+				conflict = true
+			}
+		}
+	}
+	walk(f)
+	return units, conflict
+}
+
+// countAtoms tallies occurrences per atom key for the decision ordering.
+func countAtoms(f Formula, counts map[string]int) {
+	switch n := f.(type) {
+	case *AtomF:
+		k, _ := n.Atom.Key()
+		counts[k]++
+	case *Not:
+		countAtoms(n.X, counts)
+	case *And:
+		for _, x := range n.Xs {
+			countAtoms(x, counts)
+		}
+	case *Or:
+		for _, x := range n.Xs {
+			countAtoms(x, counts)
+		}
+	}
+}
+
+// simplify rebuilds f through the smart constructors, folding constants and
+// flattening nested conjunctions/disjunctions so the search sees the
+// smallest equivalent tree and unit propagation sees the full spine.
+func simplify(f Formula) Formula {
+	switch n := f.(type) {
+	case *And:
+		xs := make([]Formula, len(n.Xs))
+		for i, x := range n.Xs {
+			xs[i] = simplify(x)
+		}
+		return NewAnd(xs...)
+	case *Or:
+		xs := make([]Formula, len(n.Xs))
+		for i, x := range n.Xs {
+			xs[i] = simplify(x)
+		}
+		return NewOr(xs...)
+	case *Not:
+		return NewNot(simplify(n.X))
+	}
+	return f
 }
 
 type tri int
@@ -268,192 +433,4 @@ func eval3(f Formula, assign Model) tri {
 		return out
 	}
 	panic(fmt.Sprintf("smt: unhandled formula %T", f))
-}
-
-// theoryConsistent checks the currently assigned literals against the
-// integer difference-bound theory and the string equality theory.
-func (s *solver) theoryConsistent() bool {
-	dbm := newDBM()
-	strEq := map[string]string{}   // path -> required value
-	strNe := map[string][]string{} // path -> excluded values
-	for k, v := range s.assign {
-		a := s.byKey[k]
-		switch a.Kind {
-		case AtomCmpC:
-			dbm.addCmpC(a, v)
-		case AtomCmpV:
-			dbm.addCmpV(a, v)
-		case AtomStrEq:
-			// Normalized atoms always have OpEq.
-			if v {
-				if prev, ok := strEq[a.Path]; ok && prev != a.StrVal {
-					return false
-				}
-				strEq[a.Path] = a.StrVal
-			} else {
-				strNe[a.Path] = append(strNe[a.Path], a.StrVal)
-			}
-		}
-	}
-	for p, val := range strEq {
-		for _, ex := range strNe[p] {
-			if ex == val {
-				return false
-			}
-		}
-	}
-	return dbm.consistent()
-}
-
-// dbm is a difference-bound matrix over integer paths plus a zero node.
-// Edge u→v with weight c encodes u - v <= c.
-type dbm struct {
-	idx    map[string]int
-	names  []string
-	edges  []dbmEdge
-	diseqC []diseqConst
-	diseqV []diseqPair
-}
-
-type dbmEdge struct {
-	u, v int
-	c    int64
-}
-
-type diseqConst struct {
-	x int
-	c int64
-}
-
-type diseqPair struct{ x, y int }
-
-func newDBM() *dbm {
-	return &dbm{idx: map[string]int{"": 0}, names: []string{""}}
-}
-
-func (d *dbm) node(path string) int {
-	if i, ok := d.idx[path]; ok {
-		return i
-	}
-	i := len(d.names)
-	d.idx[path] = i
-	d.names = append(d.names, path)
-	return i
-}
-
-func (d *dbm) add(u, v int, c int64) {
-	d.edges = append(d.edges, dbmEdge{u: u, v: v, c: c})
-}
-
-// addCmpC encodes a normalized constant comparison (Op in Eq, Le, Lt) with
-// the given truth value.
-func (d *dbm) addCmpC(a Atom, v bool) {
-	x := d.node(a.Path)
-	op := a.Op
-	if !v {
-		op = op.Negate()
-	}
-	switch op {
-	case OpEq:
-		d.add(x, 0, a.IntVal)
-		d.add(0, x, -a.IntVal)
-	case OpNe:
-		d.diseqC = append(d.diseqC, diseqConst{x: x, c: a.IntVal})
-	case OpLe:
-		d.add(x, 0, a.IntVal)
-	case OpLt:
-		d.add(x, 0, a.IntVal-1)
-	case OpGe:
-		d.add(0, x, -a.IntVal)
-	case OpGt:
-		d.add(0, x, -a.IntVal-1)
-	}
-}
-
-// addCmpV encodes a normalized variable comparison with the given truth
-// value.
-func (d *dbm) addCmpV(a Atom, v bool) {
-	x, y := d.node(a.Path), d.node(a.Path2)
-	op := a.Op
-	if !v {
-		op = op.Negate()
-	}
-	switch op {
-	case OpEq:
-		d.add(x, y, 0)
-		d.add(y, x, 0)
-	case OpNe:
-		d.diseqV = append(d.diseqV, diseqPair{x: x, y: y})
-	case OpLe:
-		d.add(x, y, 0)
-	case OpLt:
-		d.add(x, y, -1)
-	case OpGe:
-		d.add(y, x, 0)
-	case OpGt:
-		d.add(y, x, -1)
-	}
-}
-
-const inf = int64(1) << 60
-
-// consistent runs Floyd–Warshall and checks for negative cycles, then
-// verifies disequalities against forced equalities. The disequality pass is
-// complete for forced point values and forced variable equalities; exotic
-// finite-domain disequality chains may be declared consistent (erring
-// toward SAT).
-func (d *dbm) consistent() bool {
-	n := len(d.names)
-	if n == 1 && len(d.diseqC) == 0 && len(d.diseqV) == 0 {
-		return true
-	}
-	dist := make([][]int64, n)
-	for i := range dist {
-		dist[i] = make([]int64, n)
-		for j := range dist[i] {
-			if i == j {
-				dist[i][j] = 0
-			} else {
-				dist[i][j] = inf
-			}
-		}
-	}
-	for _, e := range d.edges {
-		if e.c < dist[e.u][e.v] {
-			dist[e.u][e.v] = e.c
-		}
-	}
-	for k := 0; k < n; k++ {
-		for i := 0; i < n; i++ {
-			if dist[i][k] == inf {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				if dist[k][j] == inf {
-					continue
-				}
-				if s := dist[i][k] + dist[k][j]; s < dist[i][j] {
-					dist[i][j] = s
-				}
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		if dist[i][i] < 0 {
-			return false
-		}
-	}
-	for _, dq := range d.diseqC {
-		// x != c conflicts iff bounds force x == c.
-		if dist[dq.x][0] == dq.c && dist[0][dq.x] == -dq.c {
-			return false
-		}
-	}
-	for _, dq := range d.diseqV {
-		// x != y conflicts iff bounds force x == y.
-		if dist[dq.x][dq.y] == 0 && dist[dq.y][dq.x] == 0 {
-			return false
-		}
-	}
-	return true
 }
