@@ -41,6 +41,18 @@
 //	lisa export -case <id>
 //	    Export the rules mined from a case in spec syntax, for developer
 //	    review and editing.
+//
+//	lisa serve [-addr HOST:PORT] [-workers N] [-watch DIR]...
+//	    Run the long-lived assertion daemon: an HTTP/JSON API over the
+//	    corpus with process-lifetime snapshot, fingerprint, and solver
+//	    caches, a polling file watcher that pre-warms changed sources, and
+//	    a bounded request history for audit (/gate, /assert, /history,
+//	    /stats, /watch, /healthz). SIGINT/SIGTERM drain gracefully.
+//
+//	lisa gate -remote URL ... / lisa assert -remote URL ...
+//	    Run gate or assert through a daemon at URL instead of in-process.
+//	    A cold client against a warm server skips the whole front end; the
+//	    report and exit code are identical to the local run.
 package main
 
 import (
@@ -57,6 +69,7 @@ import (
 	"lisa/internal/experiments"
 	"lisa/internal/infer"
 	"lisa/internal/sched"
+	"lisa/internal/server"
 	"lisa/internal/ticket"
 )
 
@@ -81,6 +94,8 @@ func main() {
 		err = runAuthor(os.Args[2:])
 	case "export":
 		err = runExport(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -95,7 +110,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lisa <stats|list|infer|assert|gate|author|export> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lisa <stats|list|infer|assert|gate|author|export|serve> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'go doc lisa/cmd/lisa' for details")
 }
 
@@ -259,6 +274,7 @@ func runAssert(args []string) error {
 	sourcePath := fs.String("source", "", "path to a MiniJ source file to assert over")
 	withTests := fs.Bool("tests", false, "also replay similarity-selected tests")
 	workers := fs.Int("workers", 1, "scheduler pool width; 1 = sequential engine, 0 = GOMAXPROCS")
+	remote := fs.String("remote", "", "assert through a running lisa serve daemon at this base URL instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -268,6 +284,22 @@ func runAssert(args []string) error {
 	}
 	if id == "" {
 		return fmt.Errorf("need -case or -rules")
+	}
+	if *remote != "" {
+		req := server.AssertRequest{Case: id, Version: *version, Tests: *withTests}
+		if *sourcePath != "" {
+			data, err := os.ReadFile(*sourcePath)
+			if err != nil {
+				return err
+			}
+			req.Source = string(data)
+		}
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				req.Workers = *workers
+			}
+		})
+		return remoteAssert(*remote, req)
 	}
 	cs := corpus.Load().Get(id)
 	if cs == nil {
@@ -385,19 +417,46 @@ func runGate(args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 0, "deadline per assertion job (0 = none)")
 	solverNodes := fs.Int("solver-nodes", 0, "DPLL node ceiling per SMT query (0 = default)")
 	stepBudget := fs.Int("step-budget", 0, "interpreter statement ceiling per test replay (0 = default)")
+	remote := fs.String("remote", "", "gate through a running lisa serve daemon at this base URL (e.g. http://127.0.0.1:7333) instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *caseID == "" || *changePath == "" {
 		return fmt.Errorf("need -case and -change")
 	}
-	cs := corpus.Load().Get(*caseID)
-	if cs == nil {
-		return fmt.Errorf("unknown case %q", *caseID)
-	}
 	data, err := os.ReadFile(*changePath)
 	if err != nil {
 		return err
+	}
+	if *remote != "" {
+		req := server.GateRequest{
+			Case:        *caseID,
+			Change:      string(data),
+			Summary:     *summary,
+			Incremental: *incremental,
+			FailOpen:    *failOpen || !*failClosed,
+		}
+		// The daemon picks its own pool width unless -workers was given
+		// explicitly (the local default of 1 would force every remote gate
+		// sequential, defeating the warm scheduler).
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workers":
+				req.Workers = *workers
+			case "run-timeout", "job-timeout", "solver-nodes", "step-budget":
+				req.Budget = &server.BudgetSpec{
+					RunTimeoutMS: runTimeout.Milliseconds(),
+					JobTimeoutMS: jobTimeout.Milliseconds(),
+					SolverNodes:  *solverNodes,
+					StepBudget:   *stepBudget,
+				}
+			}
+		})
+		return remoteGate(*remote, req)
+	}
+	cs := corpus.Load().Get(*caseID)
+	if cs == nil {
+		return fmt.Errorf("unknown case %q", *caseID)
 	}
 	e := core.New()
 	e.Budget = core.Budget{

@@ -11,6 +11,13 @@
 //	                generalize|hbase|hdfs|reliability|compose|ablations|
 //	                chaos|all]
 //	          [-timings=false] [-seed N] [-json FILE]
+//	lisabench -diff BENCH_N.json
+//	    Perf-regression gate: run the full sweep quietly and compare the
+//	    deterministic cost counters of the tracked hot paths (solver
+//	    queries/searches/nodes, snapshot compiles/graph builds) against
+//	    the committed baseline; exits 1 on >25% growth. Wall clocks and
+//	    hit rates are printed for context but never gate (they depend on
+//	    machine load; the counters are exactly reproducible).
 package main
 
 import (
@@ -43,11 +50,18 @@ func main() {
 	timings := flag.Bool("timings", true, "print the per-experiment wall-clock ledger after a full run")
 	seed := flag.Int64("seed", 1, "deterministic seed for seeded experiments (chaos fault plan)")
 	jsonPath := flag.String("json", "", "write bench/summary numbers (experiment wall clock, cache and solver stats) to this file")
+	diffPath := flag.String("diff", "", "run the full sweep quietly and diff its counters against this committed BENCH_*.json; exit non-zero on >25% regression in the tracked hot-path counters")
 	flag.Parse()
 
 	experiments.ChaosSeed = *seed
 
 	c := corpus.Load()
+	if *diffPath != "" {
+		if runDiff(*diffPath, c) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "all" {
 		// Drive the registry directly so each experiment's wall clock is
 		// recorded; the output matches experiments.Run("all", c).

@@ -294,6 +294,22 @@ type CacheStats struct {
 	GraphBuilds uint64
 }
 
+// Sub returns the field-wise counter delta s − base. Entries is a
+// point-in-time gauge, not a counter, so the current value is kept.
+// Holders of a private cache get exact per-instance deltas; deltas over
+// the process-wide Stats are approximate when other runs share the
+// process concurrently.
+func (s CacheStats) Sub(base CacheStats) CacheStats {
+	return CacheStats{
+		Entries:     s.Entries,
+		Hits:        s.Hits - base.Hits,
+		Misses:      s.Misses - base.Misses,
+		Evictions:   s.Evictions - base.Evictions,
+		Compiles:    s.Compiles - base.Compiles,
+		GraphBuilds: s.GraphBuilds - base.GraphBuilds,
+	}
+}
+
 // Stats returns cumulative counters and the current entry count.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

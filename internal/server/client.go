@@ -1,0 +1,141 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the thin remote mode of the lisa CLI: it speaks the daemon's
+// JSON API so a cold client process rides the server's warm caches instead
+// of re-paying the front end locally.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for a daemon at base (e.g.
+// "http://127.0.0.1:7333"). Requests carry no deadline by default — gate
+// runs are bounded by the server's budget, not the transport — callers
+// that want one can swap HTTPClient.
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{},
+	}
+}
+
+// SetHTTPClient replaces the underlying transport (tests, custom timeouts).
+func (c *Client) SetHTTPClient(hc *http.Client) { c.http = hc }
+
+// Gate submits a proposed change to the daemon's CI gate.
+func (c *Client) Gate(req GateRequest) (*GateResponse, error) {
+	var resp GateResponse
+	if err := c.do(http.MethodPost, "/gate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Assert asserts a case's rules over a version of its system.
+func (c *Client) Assert(req AssertRequest) (*AssertResponse, error) {
+	var resp AssertResponse
+	if err := c.do(http.MethodPost, "/assert", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's aggregated cache and request counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.do(http.MethodGet, "/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// HistoryPage is the /history payload: the retained entries plus the
+// total ever recorded (so a reader can tell how much fell off the ring).
+type HistoryPage struct {
+	Total   uint64         `json:"total"`
+	Entries []HistoryEntry `json:"entries"`
+}
+
+// History fetches the last n audit entries (all retained when n <= 0).
+func (c *Client) History(n int) (*HistoryPage, error) {
+	path := "/history"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var resp HistoryPage
+	if err := c.do(http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Watch registers a directory root with the server's file watcher.
+func (c *Client) Watch(root string) (*WatcherStats, error) {
+	var resp WatcherStats
+	if err := c.do(http.MethodPost, "/watch", WatchRequest{Root: root}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health pings the daemon; an error means unreachable or draining.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/healthz", nil, &struct {
+		Status string `json:"status"`
+	}{})
+}
+
+// WaitReady polls /healthz until the daemon answers or the deadline
+// passes (startup convenience for scripts and tests).
+func (c *Client) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var err error
+	for time.Now().Before(deadline) {
+		if err = c.Health(); err == nil {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s not ready after %v: %w", c.base, timeout, err)
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&e); derr == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+		}
+		return fmt.Errorf("server: %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// HistoryEntry is one audited event: a gate or assert request, or a
+// watcher pre-warm. Entries carry the verdict, wall clock, and the cache
+// deltas the event produced, so an operator can reconstruct what the
+// daemon decided and what it cost after the fact.
+type HistoryEntry struct {
+	// Seq is a monotonically increasing sequence number (never reused,
+	// even after older entries fall out of the ring).
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind is "gate", "assert", or "watch".
+	Kind string `json:"kind"`
+	Case string `json:"case,omitempty"`
+	// Target identifies what the event ran over: the content address of
+	// the gated/asserted source (short hash), or the watched file path.
+	Target string `json:"target,omitempty"`
+	// Verdict is PASS/BLOCKED (gate), PASS/VIOLATED (assert), or
+	// PREWARMED (watch).
+	Verdict    string     `json:"verdict"`
+	Detail     string     `json:"detail,omitempty"`
+	Workers    int        `json:"workers,omitempty"`
+	DurationMS float64    `json:"duration_ms"`
+	Cache      CacheDelta `json:"cache"`
+}
+
+// History is a bounded ring of audit entries. When full, the oldest entry
+// is overwritten; sequence numbers keep growing so a reader can tell how
+// much fell off. All methods are safe for concurrent use.
+type History struct {
+	mu   sync.Mutex
+	cap  int
+	seq  uint64
+	buf  []HistoryEntry
+	next int // index the next entry is written at
+	full bool
+}
+
+// NewHistory returns an empty ring bounded to capacity entries
+// (DefaultHistorySize when capacity <= 0).
+func NewHistory(capacity int) *History {
+	if capacity <= 0 {
+		capacity = DefaultHistorySize
+	}
+	return &History{cap: capacity, buf: make([]HistoryEntry, capacity)}
+}
+
+// Add stamps e with the next sequence number and records it, evicting the
+// oldest entry when the ring is full. It returns the assigned sequence.
+func (h *History) Add(e HistoryEntry) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	e.Seq = h.seq
+	h.buf[h.next] = e
+	h.next++
+	if h.next == h.cap {
+		h.next = 0
+		h.full = true
+	}
+	return e.Seq
+}
+
+// Len returns the number of entries currently retained.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lenLocked()
+}
+
+func (h *History) lenLocked() int {
+	if h.full {
+		return h.cap
+	}
+	return h.next
+}
+
+// Seq returns the total number of entries ever recorded.
+func (h *History) Seq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// Last returns up to n retained entries, oldest first (all of them when
+// n <= 0 or n exceeds the retained count).
+func (h *History) Last(n int) []HistoryEntry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	retained := h.lenLocked()
+	if n <= 0 || n > retained {
+		n = retained
+	}
+	out := make([]HistoryEntry, 0, n)
+	// Oldest retained entry sits at next when the ring is full, at 0
+	// otherwise; skip ahead to the last n.
+	start := 0
+	if h.full {
+		start = h.next
+	}
+	for i := retained - n; i < retained; i++ {
+		out = append(out, h.buf[(start+i)%h.cap])
+	}
+	return out
+}
+
+// Flush writes every retained entry to w as an indented JSON array,
+// oldest first. The ring is left intact; Flush is an audit dump, not a
+// drain.
+func (h *History) Flush(w io.Writer) error {
+	entries := h.Last(0)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestHistoryRingBounds: the ring keeps the newest cap entries, sequence
+// numbers keep growing past eviction, and Last trims from the oldest end.
+func TestHistoryRingBounds(t *testing.T) {
+	h := NewHistory(4)
+	for i := 1; i <= 10; i++ {
+		seq := h.Add(HistoryEntry{Kind: "gate", Detail: fmt.Sprintf("e%d", i)})
+		if seq != uint64(i) {
+			t.Fatalf("Add #%d assigned seq %d", i, seq)
+		}
+	}
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", h.Len())
+	}
+	if h.Seq() != 10 {
+		t.Fatalf("Seq = %d, want 10", h.Seq())
+	}
+	all := h.Last(0)
+	if len(all) != 4 {
+		t.Fatalf("Last(0) = %d entries, want 4", len(all))
+	}
+	for i, e := range all {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("Last(0)[%d].Seq = %d, want %d (oldest retained first)", i, e.Seq, want)
+		}
+	}
+	two := h.Last(2)
+	if len(two) != 2 || two[0].Seq != 9 || two[1].Seq != 10 {
+		t.Fatalf("Last(2) = %+v, want seqs 9,10", two)
+	}
+	if got := h.Last(99); len(got) != 4 {
+		t.Fatalf("Last(99) = %d entries, want 4", len(got))
+	}
+}
+
+// TestHistoryPartialRing: before the ring wraps, only written entries are
+// returned.
+func TestHistoryPartialRing(t *testing.T) {
+	h := NewHistory(8)
+	h.Add(HistoryEntry{Kind: "gate"})
+	h.Add(HistoryEntry{Kind: "assert"})
+	got := h.Last(0)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("Last(0) = %+v", got)
+	}
+}
+
+// TestHistoryFlush: Flush writes the retained entries as a JSON array,
+// oldest first, and leaves the ring intact.
+func TestHistoryFlush(t *testing.T) {
+	h := NewHistory(3)
+	for i := 0; i < 5; i++ {
+		h.Add(HistoryEntry{Kind: "gate", Case: "zk-ephemeral", Verdict: "PASS"})
+	}
+	var buf bytes.Buffer
+	if err := h.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var entries []HistoryEntry
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatalf("flush output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(entries) != 3 || entries[0].Seq != 3 || entries[2].Seq != 5 {
+		t.Fatalf("flushed %+v", entries)
+	}
+	if h.Len() != 3 {
+		t.Fatal("flush must not drain the ring")
+	}
+}

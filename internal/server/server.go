@@ -1,0 +1,619 @@
+// Package server exposes the assertion pipeline as a long-lived HTTP/JSON
+// daemon: `lisa serve`. A cold `lisa gate` process pays the whole front
+// end — ticket inference, parse/resolve/call-graph, site fingerprints,
+// solver queries — on every invocation and throws the warm caches away at
+// exit. The daemon instead owns process-lifetime instances of the hot
+// state (a private program snapshot cache, one scheduler fingerprint cache
+// per corpus case, and the process-wide solver query cache) and serves
+// concurrent /gate and /assert requests against them, so a fleet of CI
+// runners pays the front end once and every subsequent request runs at
+// warm-cache speed.
+//
+// Concurrency contract: requests on different cases run concurrently;
+// requests on one case serialize on that case's runtime (its engine,
+// budget, and fingerprint cache are shared state, and the warm caches make
+// repeats cheap). Under that discipline every report returned over the
+// wire is byte-identical — per core.AssertReport.Render — to what a local
+// sequential run over the same inputs produces, under arbitrary request
+// interleaving, and the package is race-clean.
+//
+// Delta accounting: the /stats endpoint and per-request cache deltas are
+// scoped to this server instance. The snapshot cache is a private
+// program.Cache, so its numbers are exact per server. The solver counters
+// are process-global (the query cache is shared by design); the server
+// snapshots them at creation and reports growth since then, which is exact
+// while it is the only solver user in the process — e.g. servers created
+// in sequence by tests — and approximate when other runs share the process
+// concurrently. Per-request deltas are likewise exact under serial load
+// and approximate across concurrently running cases.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"lisa/internal/ci"
+	"lisa/internal/core"
+	"lisa/internal/program"
+	"lisa/internal/sched"
+	"lisa/internal/smt"
+	"lisa/internal/ticket"
+)
+
+const (
+	// DefaultHistorySize bounds the request history ring.
+	DefaultHistorySize = 256
+	// DefaultWatchInterval is the file watcher's polling period.
+	DefaultWatchInterval = 2 * time.Second
+	// DefaultDrainTimeout bounds how long Drain waits for in-flight
+	// requests before giving up.
+	DefaultDrainTimeout = 10 * time.Second
+)
+
+// Config configures a Server.
+type Config struct {
+	// Corpus provides the cases whose rules the daemon serves. Nil means
+	// the full study corpus (corpus.Load from the caller; the server does
+	// not load it implicitly to keep the dependency one-way).
+	Corpus *ticket.Corpus
+	// Workers is the default scheduler pool width for requests that do not
+	// specify one (0 = GOMAXPROCS).
+	Workers int
+	// HistorySize bounds the history ring (0 = DefaultHistorySize).
+	HistorySize int
+	// WatchInterval is the watcher polling period (0 = default).
+	WatchInterval time.Duration
+	// FailOpen makes every gate downgrade INCONCLUSIVE to warnings unless
+	// the request says otherwise.
+	FailOpen bool
+	// Budget is the default per-request budget (zero = no deadlines,
+	// package defaults).
+	Budget core.Budget
+	// SnapshotCapacity bounds the server's private snapshot cache
+	// (0 = program.DefaultCapacity).
+	SnapshotCapacity int
+}
+
+// caseRuntime is the long-lived per-case state: the engine with the case's
+// rules registered, and the scheduler whose fingerprint cache accumulates
+// across requests. mu serializes assertion runs on the case.
+type caseRuntime struct {
+	cs   *ticket.Case
+	once sync.Once
+	err  error
+
+	mu     sync.Mutex
+	engine *core.Engine
+	sched  *sched.Scheduler
+	primed bool // head fingerprints warmed (incremental gates)
+}
+
+// Server is the daemon. Create with New, mount Handler on an http.Server
+// (or call ServeHTTP directly), and Drain before exit.
+type Server struct {
+	cfg       Config
+	corpus    *ticket.Corpus
+	snapshots *program.Cache
+	hist      *History
+	watch     *watcher
+
+	started    time.Time
+	solverBase smt.SolverStats
+
+	casesMu sync.Mutex
+	cases   map[string]*caseRuntime
+
+	// stateMu guards draining and the inflight count; idle is signalled
+	// when the last in-flight request finishes during a drain.
+	stateMu  sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{}
+
+	reqGate    uint64
+	reqAssert  uint64
+	reqRefused uint64
+
+	// testRequestDelay stretches every admitted request (tests only: it
+	// makes "a request is in flight while Drain runs" deterministic).
+	testRequestDelay time.Duration
+}
+
+// New returns a daemon over cfg.Corpus. The solver counter baseline is
+// snapshotted here: /stats reports growth since this call.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:        cfg,
+		corpus:     cfg.Corpus,
+		snapshots:  program.NewCache(cfg.SnapshotCapacity),
+		hist:       NewHistory(cfg.HistorySize),
+		started:    time.Now(),
+		solverBase: smt.Stats(),
+		cases:      map[string]*caseRuntime{},
+		idle:       make(chan struct{}, 1),
+	}
+	s.watch = newWatcher(s, cfg.WatchInterval)
+	return s
+}
+
+// History exposes the audit ring (for flushing on shutdown).
+func (s *Server) History() *History { return s.hist }
+
+// RegisterRoot adds a directory to the file watcher and starts the polling
+// loop on first use.
+func (s *Server) RegisterRoot(dir string) error { return s.watch.addRoot(dir) }
+
+// PollNow runs one synchronous watcher poll over the registered roots and
+// returns the watcher counters afterwards.
+func (s *Server) PollNow() WatcherStats { return s.watch.poll() }
+
+// Inflight returns the number of requests currently being served.
+func (s *Server) Inflight() int {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.inflight
+}
+
+// runtime returns the long-lived runtime for a case, building it on first
+// use: a fresh engine wired to the server's private snapshot cache with
+// every ticket of the case processed (inference + registration), plus a
+// scheduler whose fingerprint cache persists for the server's lifetime.
+func (s *Server) runtime(id string) (*caseRuntime, error) {
+	if s.corpus == nil {
+		return nil, fmt.Errorf("server has no corpus configured")
+	}
+	cs := s.corpus.Get(id)
+	if cs == nil {
+		return nil, fmt.Errorf("unknown case %q", id)
+	}
+	s.casesMu.Lock()
+	rt, ok := s.cases[id]
+	if !ok {
+		rt = &caseRuntime{cs: cs}
+		s.cases[id] = rt
+	}
+	s.casesMu.Unlock()
+	rt.once.Do(func() {
+		e := core.New()
+		e.Snapshots = s.snapshots
+		for _, tk := range cs.Tickets {
+			if _, err := e.ProcessTicket(tk); err != nil {
+				rt.err = fmt.Errorf("process %s: %w", tk.ID, err)
+				return
+			}
+		}
+		rt.engine = e
+		rt.sched = sched.New()
+	})
+	return rt, rt.err
+}
+
+// begin admits one request unless the server is draining. The matching
+// end() must be called when the request finishes.
+func (s *Server) begin() bool {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.draining {
+		s.reqRefused++
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) end() {
+	s.stateMu.Lock()
+	s.inflight--
+	signal := s.draining && s.inflight == 0
+	s.stateMu.Unlock()
+	if signal {
+		select {
+		case s.idle <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Drain puts the server into shutdown: new requests are refused with 503,
+// the watcher is stopped, and Drain blocks until every in-flight request
+// has finished or ctx expires (in which case it reports how many were
+// still running). Safe to call once; the server stays refusing afterwards.
+func (s *Server) Drain(ctx context.Context) error {
+	s.stateMu.Lock()
+	s.draining = true
+	pending := s.inflight
+	s.stateMu.Unlock()
+	s.watch.halt()
+	for pending > 0 {
+		select {
+		case <-s.idle:
+		case <-ctx.Done():
+			s.stateMu.Lock()
+			pending = s.inflight
+			s.stateMu.Unlock()
+			return fmt.Errorf("drain: %d request(s) still in flight: %w", pending, ctx.Err())
+		}
+		s.stateMu.Lock()
+		pending = s.inflight
+		s.stateMu.Unlock()
+	}
+	return nil
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/gate", s.guard("POST", s.handleGate))
+	mux.HandleFunc("/assert", s.guard("POST", s.handleAssert))
+	mux.HandleFunc("/history", s.guard("GET", s.handleHistory))
+	mux.HandleFunc("/stats", s.guard("GET", s.handleStats))
+	mux.HandleFunc("/watch", s.guard("POST", s.handleWatch))
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// ServeHTTP serves the daemon routes (Server is itself a handler).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.Handler().ServeHTTP(w, r)
+}
+
+// guard wraps a handler with method checking and the drain gate, and
+// tracks the in-flight count.
+func (s *Server) guard(method string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed (want %s)", r.Method, method))
+			return
+		}
+		if !s.begin() {
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining; no new requests"))
+			return
+		}
+		defer s.end()
+		if s.testRequestDelay > 0 {
+			time.Sleep(s.testRequestDelay)
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.stateMu.Lock()
+	draining := s.draining
+	s.stateMu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleGate(w http.ResponseWriter, r *http.Request) {
+	var req GateRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Case == "" || req.Change == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need case and change"))
+		return
+	}
+	rt, err := s.runtime(req.Case)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.stateMu.Lock()
+	s.reqGate++
+	s.stateMu.Unlock()
+
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	budget := s.cfg.Budget
+	if req.Budget != nil {
+		budget = req.Budget.Budget()
+	}
+	summary := req.Summary
+	if summary == "" {
+		summary = "proposed change"
+	}
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	start := time.Now()
+	smtBefore := smt.Stats()
+	snapBefore := s.snapshots.Stats()
+	if req.Incremental && !rt.primed {
+		// Warm the fingerprint cache on the current head once per case, so
+		// incremental gates re-execute only the jobs the change impacts —
+		// the same priming the CLI does per invocation, paid once here.
+		if _, _, err := rt.sched.Assert(rt.engine, rt.cs.Head(), rt.cs.Tests, sched.Options{Workers: workers}); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("priming cache on head: %w", err))
+			return
+		}
+		rt.primed = true
+	}
+	res, err := ci.GateWith(rt.engine, ci.Change{
+		Summary:   summary,
+		OldSource: rt.cs.Head(),
+		NewSource: req.Change,
+	}, rt.cs.Tests, ci.GateOptions{
+		Scheduler:   rt.sched,
+		Workers:     workers,
+		Incremental: req.Incremental,
+		FailOpen:    req.FailOpen || s.cfg.FailOpen,
+		Budget:      &budget,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	delta := s.cacheDelta(smtBefore, snapBefore, res.Sched)
+	resp := &GateResponse{
+		Case:       req.Case,
+		Pass:       res.Pass,
+		Verdict:    gateVerdict(res.Pass),
+		Summary:    res.Summary(),
+		Asserted:   res.Asserted,
+		Skipped:    res.Skipped,
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Cache:      delta,
+	}
+	for _, f := range res.Findings {
+		resp.Findings = append(resp.Findings, Finding{Severity: f.Severity, Text: f.Text})
+	}
+	if res.Report != nil {
+		resp.Report = res.Report.Render()
+	}
+	s.hist.Add(HistoryEntry{
+		Time:       start,
+		Kind:       "gate",
+		Case:       req.Case,
+		Target:     shortHash(req.Change),
+		Verdict:    resp.Verdict,
+		Detail:     gateDetail(res),
+		Workers:    workers,
+		DurationMS: resp.DurationMS,
+		Cache:      delta,
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
+	var req AssertRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Case == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need case"))
+		return
+	}
+	rt, err := s.runtime(req.Case)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	target, err := resolveTarget(rt.cs, req.Version, req.Source)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.stateMu.Lock()
+	s.reqAssert++
+	s.stateMu.Unlock()
+
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	var tests []ticket.TestCase
+	if req.Tests {
+		tests = rt.cs.Tests
+	}
+	budget := s.cfg.Budget
+	if req.Budget != nil {
+		budget = req.Budget.Budget()
+	}
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	start := time.Now()
+	smtBefore := smt.Stats()
+	snapBefore := s.snapshots.Stats()
+	prevBudget := rt.engine.Budget
+	rt.engine.Budget = budget
+	rep, stats, err := rt.sched.Assert(rt.engine, target, tests, sched.Options{Workers: workers})
+	rt.engine.Budget = prevBudget
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	delta := s.cacheDelta(smtBefore, snapBefore, stats)
+	resp := &AssertResponse{
+		Case:    req.Case,
+		Verdict: assertVerdict(rep.Counts.Violations),
+		Counts: AssertCounts{
+			Verified:   rep.Counts.Verified,
+			Violations: rep.Counts.Violations,
+			Unknown:    rep.Counts.Unknown,
+			Uncovered:  rep.Counts.Uncovered,
+		},
+		TestsRun:   rep.TestsRun,
+		Report:     rep.Render(),
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Cache:      delta,
+	}
+	s.hist.Add(HistoryEntry{
+		Time:       start,
+		Kind:       "assert",
+		Case:       req.Case,
+		Target:     shortHash(target),
+		Verdict:    resp.Verdict,
+		Detail:     fmt.Sprintf("verified=%d violations=%d unknown=%d uncovered=%d", resp.Counts.Verified, resp.Counts.Violations, resp.Counts.Unknown, resp.Counts.Uncovered),
+		Workers:    workers,
+		DurationMS: resp.DurationMS,
+		Cache:      delta,
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", q))
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   s.hist.Seq(),
+		"entries": s.hist.Last(n),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.casesMu.Lock()
+	ids := make([]string, 0, len(s.cases))
+	for id := range s.cases {
+		ids = append(ids, id)
+	}
+	s.casesMu.Unlock()
+	sort.Strings(ids)
+	var cases []CaseStats
+	for _, id := range ids {
+		s.casesMu.Lock()
+		rt := s.cases[id]
+		s.casesMu.Unlock()
+		if rt.sched == nil {
+			continue
+		}
+		cases = append(cases, CaseStats{Case: id, SchedCache: rt.sched.Cache().Stats()})
+	}
+	s.stateMu.Lock()
+	resp := &StatsResponse{
+		UptimeMS: float64(time.Since(s.started)) / float64(time.Millisecond),
+		Draining: s.draining,
+		Inflight: s.inflight - 1, // exclude this /stats request itself
+		Requests: RequestCounts{Gate: s.reqGate, Assert: s.reqAssert, Refused: s.reqRefused},
+	}
+	s.stateMu.Unlock()
+	resp.Cases = cases
+	resp.Snapshot = s.snapshots.Stats()
+	resp.Solver = smt.Stats().Sub(s.solverBase)
+	resp.Watcher = s.watch.statsSnapshot()
+	resp.HistoryLen = s.hist.Len()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	var req WatchRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Root == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need root"))
+		return
+	}
+	if err := s.RegisterRoot(req.Root); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.watch.statsSnapshot())
+}
+
+// cacheDelta assembles the per-request cache ledger from the scheduler's
+// run stats and the counter growth observed across the run.
+func (s *Server) cacheDelta(smtBefore smt.SolverStats, snapBefore program.CacheStats, st *sched.Stats) CacheDelta {
+	d := CacheDelta{}
+	if st != nil {
+		d.SchedJobs = st.Jobs
+		d.SchedExecuted = st.Executed
+		d.SchedCacheHits = st.CacheHits
+		d.SolverQueries = st.SolverQueries
+		d.SolverCacheHits = st.SolverCacheHits
+	} else {
+		sd := smt.Stats().Sub(smtBefore)
+		d.SolverQueries = sd.Queries
+		d.SolverCacheHits = sd.CacheHits
+	}
+	sd := s.snapshots.Stats().Sub(snapBefore)
+	d.SnapshotHits = sd.Hits
+	d.SnapshotMisses = sd.Misses
+	d.SnapshotCompiles = sd.Compiles
+	return d
+}
+
+func gateVerdict(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "BLOCKED"
+}
+
+func assertVerdict(violations int) string {
+	if violations > 0 {
+		return "VIOLATED"
+	}
+	return "PASS"
+}
+
+// gateDetail summarizes a gate result for the history ring: the diffstat
+// plus the finding severity split.
+func gateDetail(res *ci.Result) string {
+	blocks, warns := 0, 0
+	for _, f := range res.Findings {
+		switch f.Severity {
+		case "BLOCK":
+			blocks++
+		case "WARN":
+			warns++
+		}
+	}
+	detail := fmt.Sprintf("%d block, %d warn", blocks, warns)
+	if res.DiffStat != "" {
+		detail = res.DiffStat + "; " + detail
+	}
+	return detail
+}
+
+// shortHash is the content address of a source, truncated for audit logs.
+func shortHash(source string) string {
+	h := program.Hash(source)
+	if len(h) > 12 {
+		h = h[:12]
+	}
+	return h
+}
+
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lisa/internal/corpus"
+)
+
+// TestGracefulShutdown: while a request is in flight, Drain refuses new
+// requests immediately, waits for the in-flight one to finish, and the
+// history ring can then be flushed with the completed request in it.
+func TestGracefulShutdown(t *testing.T) {
+	srv := New(Config{Corpus: corpus.Load()})
+	srv.testRequestDelay = 200 * time.Millisecond
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	cs := corpusCase(t, "zk-ephemeral")
+
+	type result struct {
+		resp *GateResponse
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := cl.Gate(GateRequest{Case: cs.ID, Change: cs.Head()})
+		inflight <- result{resp, err}
+	}()
+
+	// The test delay holds the request open long enough to observe it.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+
+	// New requests are refused as soon as draining starts, while the old
+	// one is still running.
+	refuseDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cl.Gate(GateRequest{Case: cs.ID, Change: cs.Head()}); err != nil {
+			break // refused (503) — draining is visible
+		}
+		if time.Now().After(refuseDeadline) {
+			t.Fatal("server kept accepting requests during drain")
+		}
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	got := <-inflight
+	if got.err != nil {
+		t.Fatalf("in-flight request should complete during drain, got %v", got.err)
+	}
+	if got.resp.Report == "" {
+		t.Fatal("in-flight request returned an empty report")
+	}
+
+	// The completed request is auditable post-drain.
+	var buf bytes.Buffer
+	if err := srv.History().Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var entries []HistoryEntry
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 || entries[len(entries)-1].Kind != "gate" {
+		t.Fatalf("flushed history missing the drained gate: %+v", entries)
+	}
+}
+
+// TestDrainDeadline: a Drain whose context expires while a request is
+// still running reports it instead of hanging.
+func TestDrainDeadline(t *testing.T) {
+	srv := New(Config{Corpus: corpus.Load()})
+	srv.testRequestDelay = 300 * time.Millisecond
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	cs := corpusCase(t, "zk-ephemeral")
+
+	done := make(chan struct{})
+	go func() {
+		cl.Gate(GateRequest{Case: cs.ID, Change: cs.Head()})
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err == nil {
+		t.Fatal("drain with expired deadline and an in-flight request should error")
+	}
+	<-done
+
+	// A later unbounded drain settles cleanly.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestDrainIdempotentOnIdleServer: draining an idle server returns
+// immediately and keeps refusing.
+func TestDrainIdempotentOnIdleServer(t *testing.T) {
+	srv, cl, done := newTestServer(t, Config{})
+	defer done()
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Gate(GateRequest{Case: "zk-ephemeral", Change: "class X {}"}); err == nil {
+		t.Fatal("drained server accepted a request")
+	}
+	if err := cl.Health(); err == nil {
+		t.Fatal("health should report draining")
+	}
+}

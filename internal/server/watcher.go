@@ -1,0 +1,227 @@
+package server
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"lisa/internal/sched"
+)
+
+// watchExts are the file extensions the watcher treats as MiniJ sources.
+var watchExts = map[string]bool{".mj": true, ".minij": true}
+
+// watcher polls registered directory roots for MiniJ source files and
+// pre-warms the expensive front end on every change: the new version is
+// loaded into the server's snapshot cache (parse, resolve, canonical
+// hash), its call graph is built, and — when the previous content of the
+// file is known — the dirty set against it is computed, so a gate request
+// that follows the edit finds all of that work already done. Polling is
+// deliberate: it needs no platform notification APIs, walks in
+// deterministic (lexical) order, and a missed poll only costs warmth,
+// never correctness.
+type watcher struct {
+	srv      *Server
+	interval time.Duration
+
+	mu      sync.Mutex
+	roots   []string
+	seen    map[string]string // file path → raw source at last poll
+	stats   WatcherStats
+	started bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newWatcher(srv *Server, interval time.Duration) *watcher {
+	if interval <= 0 {
+		interval = DefaultWatchInterval
+	}
+	return &watcher{
+		srv:      srv,
+		interval: interval,
+		seen:     map[string]string{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// addRoot registers dir and starts the polling loop on first use. The
+// first poll treats every existing file as new (pre-warmed, but with no
+// previous version to diff a dirty set against).
+func (w *watcher) addRoot(dir string) error {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("watch root %s is not a directory", dir)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	for _, r := range w.roots {
+		if r == abs {
+			w.mu.Unlock()
+			return nil
+		}
+	}
+	w.roots = append(w.roots, abs)
+	w.stats.Roots = len(w.roots)
+	start := !w.started
+	w.started = true
+	w.mu.Unlock()
+	if start {
+		go w.run()
+	}
+	return nil
+}
+
+func (w *watcher) run() {
+	defer close(w.done)
+	tick := time.NewTicker(w.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+			w.poll()
+		}
+	}
+}
+
+// halt stops the polling loop and waits for an in-flight poll to finish.
+// Safe to call more than once and on a watcher that never started.
+func (w *watcher) halt() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.mu.Lock()
+	started := w.started
+	w.mu.Unlock()
+	if started {
+		<-w.done
+	}
+}
+
+// poll walks every registered root once, synchronously (the server exposes
+// it as PollNow so tests and operators can force a deterministic scan).
+// Scanning and pre-warming are split so the seen map is updated under the
+// lock while the expensive front-end work runs outside it.
+func (w *watcher) poll() WatcherStats {
+	w.mu.Lock()
+	roots := append([]string(nil), w.roots...)
+	w.mu.Unlock()
+
+	type event struct {
+		path   string
+		source string
+		old    string
+		isNew  bool
+	}
+	var events []event
+	scanned := uint64(0)
+	for _, root := range roots {
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !watchExts[strings.ToLower(filepath.Ext(path))] {
+				return nil
+			}
+			data, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return nil
+			}
+			scanned++
+			src := string(data)
+			w.mu.Lock()
+			old, known := w.seen[path]
+			if !known || old != src {
+				w.seen[path] = src
+				events = append(events, event{path: path, source: src, old: old, isNew: !known})
+			}
+			w.mu.Unlock()
+			return nil
+		})
+	}
+
+	for _, ev := range events {
+		w.prewarm(ev.path, ev.source, ev.old, ev.isNew)
+	}
+
+	w.mu.Lock()
+	w.stats.Polls++
+	w.stats.FilesScanned += scanned
+	st := w.stats
+	w.mu.Unlock()
+	return st
+}
+
+// prewarm loads the changed file into the server's snapshot cache, builds
+// its call graph, computes the dirty set against the previous content when
+// there is one, and records the event in the request history.
+func (w *watcher) prewarm(path, source, old string, isNew bool) {
+	start := time.Now()
+	snapBefore := w.srv.snapshots.Stats()
+	var detail string
+	snap, err := w.srv.snapshots.Load(source)
+	switch {
+	case err != nil:
+		detail = fmt.Sprintf("does not build: %v", err)
+	case isNew:
+		snap.Graph()
+		detail = "new file"
+	default:
+		snap.Graph()
+		detail = "changed"
+		if oldSnap, oerr := w.srv.snapshots.Load(old); oerr == nil {
+			d := sched.ComputeDirtySnapshots(oldSnap, snap)
+			w.mu.Lock()
+			w.stats.DirtySets++
+			w.mu.Unlock()
+			switch {
+			case d.All:
+				detail = "changed; dirty: whole program"
+			case len(d.SortedMethods()) > 0:
+				detail = "changed; dirty: " + strings.Join(d.SortedMethods(), ", ")
+			default:
+				detail = "changed; dirty: none (formatting only)"
+			}
+		}
+	}
+	w.mu.Lock()
+	if err == nil {
+		w.stats.Prewarmed++
+	}
+	if !isNew {
+		w.stats.Changes++
+		w.stats.LastChange = path
+	}
+	w.mu.Unlock()
+	snapDelta := w.srv.snapshots.Stats().Sub(snapBefore)
+	w.srv.hist.Add(HistoryEntry{
+		Time:       start,
+		Kind:       "watch",
+		Target:     path,
+		Verdict:    "PREWARMED",
+		Detail:     detail,
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Cache: CacheDelta{
+			SnapshotHits:     snapDelta.Hits,
+			SnapshotMisses:   snapDelta.Misses,
+			SnapshotCompiles: snapDelta.Compiles,
+		},
+	})
+}
+
+// statsSnapshot returns a copy of the watcher counters.
+func (w *watcher) statsSnapshot() WatcherStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// watchEntries filters the history down to watcher events.
+func watchEntries(srv *Server) []HistoryEntry {
+	var out []HistoryEntry
+	for _, e := range srv.History().Last(0) {
+		if e.Kind == "watch" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestWatcherPrewarmsNewFile: a first poll over a fresh root compiles the
+// file into the shared snapshot cache and records a PREWARMED history
+// entry; a second poll with no edits does nothing.
+func TestWatcherPrewarmsNewFile(t *testing.T) {
+	srv, _, done := newTestServer(t, Config{WatchInterval: time.Hour})
+	defer done()
+	cs := corpusCase(t, "zk-ephemeral")
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.mj")
+	if err := os.WriteFile(path, []byte(cs.Head()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterRoot(dir); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.PollNow()
+	if st.FilesScanned == 0 || st.Prewarmed != 1 {
+		t.Fatalf("first poll: %+v, want 1 prewarmed file", st)
+	}
+	if st.Changes != 0 {
+		t.Fatalf("a brand-new file is not a change: %+v", st)
+	}
+	got := watchEntries(srv)
+	if len(got) != 1 {
+		t.Fatalf("history has %d watch entries, want 1", len(got))
+	}
+	e := got[0]
+	if e.Verdict != "PREWARMED" || e.Target != path || e.Detail != "new file" {
+		t.Fatalf("watch entry %+v", e)
+	}
+	if e.Cache.SnapshotCompiles == 0 {
+		t.Fatalf("pre-warming a new file must compile it: %+v", e.Cache)
+	}
+
+	// No edit, no work: the seen map absorbs the second poll entirely.
+	st = srv.PollNow()
+	if st.Prewarmed != 1 || len(watchEntries(srv)) != 1 {
+		t.Fatalf("unchanged file re-prewarmed: %+v", st)
+	}
+}
+
+// TestWatcherComputesDirtySet: editing a watched file records the change
+// and names the dirty methods against the previous content, so the log
+// tells the operator exactly what the next gate will re-verify.
+func TestWatcherComputesDirtySet(t *testing.T) {
+	srv, _, done := newTestServer(t, Config{WatchInterval: time.Hour})
+	defer done()
+	cs := corpusCase(t, "zk-ephemeral")
+	regressed := cs.Tickets[len(cs.Tickets)-1].BuggySource
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.mj")
+	if err := os.WriteFile(path, []byte(cs.Head()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterRoot(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv.PollNow()
+
+	if err := os.WriteFile(path, []byte(regressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.PollNow()
+	if st.Changes != 1 || st.DirtySets != 1 {
+		t.Fatalf("after edit: %+v, want 1 change with a dirty set", st)
+	}
+	if st.LastChange != path {
+		t.Fatalf("LastChange = %q, want %q", st.LastChange, path)
+	}
+	entries := watchEntries(srv)
+	last := entries[len(entries)-1]
+	if !strings.Contains(last.Detail, "dirty:") {
+		t.Fatalf("change entry should name the dirty set, got detail %q", last.Detail)
+	}
+}
+
+// TestWatcherIgnoresOtherFilesAndBadRoots: only MiniJ extensions are
+// scanned, and registering a non-directory fails up front.
+func TestWatcherIgnoresOtherFilesAndBadRoots(t *testing.T) {
+	srv, _, done := newTestServer(t, Config{WatchInterval: time.Hour})
+	defer done()
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not minij"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterRoot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.PollNow(); st.FilesScanned != 0 || st.Prewarmed != 0 {
+		t.Fatalf("non-MiniJ files must be ignored: %+v", st)
+	}
+	if err := srv.RegisterRoot(filepath.Join(dir, "notes.txt")); err == nil {
+		t.Fatal("registering a file as a watch root should fail")
+	}
+	if err := srv.RegisterRoot(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("registering a missing root should fail")
+	}
+	// Re-registering the same root is a no-op, not a duplicate scan.
+	if err := srv.RegisterRoot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.PollNow(); st.Roots != 1 {
+		t.Fatalf("duplicate root registered twice: %+v", st)
+	}
+}

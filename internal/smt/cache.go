@@ -49,6 +49,26 @@ func Stats() SolverStats {
 	}
 }
 
+// Sub returns the field-wise counter delta s − base. Long-lived holders
+// (the lisa serve daemon, per-run scheduler stats) snapshot the
+// process-wide counters at a baseline and attribute later growth to their
+// own traffic. The attribution is exact while the holder is the only
+// solver user in the process (several servers created in sequence each
+// start from a correct baseline) and approximate when other runs share the
+// process concurrently — the counters themselves are process-global.
+func (s SolverStats) Sub(base SolverStats) SolverStats {
+	return SolverStats{
+		Queries:        s.Queries - base.Queries,
+		CacheHits:      s.CacheHits - base.CacheHits,
+		CacheMisses:    s.CacheMisses - base.CacheMisses,
+		CacheEvictions: s.CacheEvictions - base.CacheEvictions,
+		Solves:         s.Solves - base.Solves,
+		Nodes:          s.Nodes - base.Nodes,
+		SolveTime:      s.SolveTime - base.SolveTime,
+		TheoryTime:     s.TheoryTime - base.TheoryTime,
+	}
+}
+
 // DefaultQueryCacheCap bounds the process-wide solver result cache. Corpus
 // runs issue a few thousand distinct queries; the cap is a memory backstop,
 // not a tuning knob.

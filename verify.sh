@@ -1,11 +1,16 @@
 #!/bin/sh
 # Full verify: tier-1 (build + all tests), vet, the race-detector suites
 # for the packages with concurrency (scheduler worker pool, snapshot
-# cache, solver result cache, prefix-pruning walker, fault injector), and
-# a smoke run of the fault-injection matrix. ROADMAP.md points here.
+# cache, solver result cache, prefix-pruning walker, fault injector, and
+# the serve daemon with its request hammer), the daemon smoke test by
+# name (start a real listener, one gate round trip, clean drain), the
+# perf-regression gate against the committed counter baseline, and a
+# smoke run of the fault-injection matrix. ROADMAP.md points here.
 set -ex
 go build ./...
 go test ./...
 go vet ./...
-go test -race ./internal/sched/... ./internal/program/... ./internal/faultinject/... ./internal/smt/... ./internal/concolic/...
+go test -race ./internal/sched/... ./internal/program/... ./internal/faultinject/... ./internal/smt/... ./internal/concolic/... ./internal/server/...
+go test -run TestServerSmoke -count=1 ./internal/server
+go run ./cmd/lisabench -diff BENCH_5.json
 go run ./cmd/lisabench -exp chaos -seed 1
