@@ -53,6 +53,14 @@
 //	    Run gate or assert through a daemon at URL instead of in-process.
 //	    A cold client against a warm server skips the whole front end; the
 //	    report and exit code are identical to the local run.
+//
+//	lisa assert|gate|serve ... -store DIR
+//	    Back the hot caches (program snapshots, solver verdicts, job
+//	    fingerprints) with a crash-safe on-disk store at DIR, shared
+//	    across processes: a cold invocation over a warm store replays
+//	    prior results instead of recomputing them, and the report stays
+//	    byte-identical to a store-less run. Two processes may share one
+//	    store directory concurrently.
 package main
 
 import (
@@ -60,6 +68,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"lisa/internal/ci"
 	"lisa/internal/concolic"
@@ -68,10 +77,39 @@ import (
 	"lisa/internal/corpus"
 	"lisa/internal/experiments"
 	"lisa/internal/infer"
+	"lisa/internal/program"
 	"lisa/internal/sched"
 	"lisa/internal/server"
+	"lisa/internal/smt"
+	"lisa/internal/store"
 	"lisa/internal/ticket"
 )
+
+// attachStore opens (creating if needed) the on-disk cache store at dir and
+// wires it behind private snapshot and solver caches on the engine, so a
+// cold process starts warm from a previous run's results. The returned
+// cleanup flushes the write-behind queue and releases the store lock; it is
+// idempotent so the blocking-verdict paths can flush explicitly before
+// os.Exit (which skips deferred calls) while the normal return still runs
+// the deferred copy.
+func attachStore(dir string, e *core.Engine) (*store.Store, func(), error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open store %s: %w", dir, err)
+	}
+	snaps := program.NewCache(0)
+	snaps.SetStore(st)
+	e.Snapshots = snaps
+	e.Solver = smt.NewQueryCache(0)
+	e.Solver.SetStore(st)
+	var once sync.Once
+	return st, func() {
+		once.Do(func() {
+			st.Flush()
+			st.Close()
+		})
+	}, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -274,6 +312,7 @@ func runAssert(args []string) error {
 	sourcePath := fs.String("source", "", "path to a MiniJ source file to assert over")
 	withTests := fs.Bool("tests", false, "also replay similarity-selected tests")
 	workers := fs.Int("workers", 1, "scheduler pool width; 1 = sequential engine, 0 = GOMAXPROCS")
+	storeDir := fs.String("store", "", "back the snapshot, solver, and fingerprint caches with an on-disk store at this directory (created if missing)")
 	remote := fs.String("remote", "", "assert through a running lisa serve daemon at this base URL instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -307,6 +346,17 @@ func runAssert(args []string) error {
 	}
 
 	e := core.New()
+	var st *store.Store
+	flushStore := func() {}
+	if *storeDir != "" {
+		s, cleanup, err := attachStore(*storeDir, e)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		flushStore = cleanup
+		st = s
+	}
 	for _, tk := range cs.Tickets {
 		rep, err := e.ProcessTicket(tk)
 		if err != nil {
@@ -361,14 +411,19 @@ func runAssert(args []string) error {
 	}
 	var rep *core.AssertReport
 	var err error
-	if *workers != 1 {
+	if *workers != 1 || st != nil {
+		s := sched.New()
+		s.Cache().SetStore(st)
 		var stats *sched.Stats
-		rep, stats, err = sched.New().Assert(e, target, tests, sched.Options{Workers: *workers})
+		rep, stats, err = s.Assert(e, target, tests, sched.Options{Workers: *workers})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("\nscheduled %d jobs on %d workers (%d site, %d dynamic, %d structural)\n",
 			stats.Jobs, stats.Workers, stats.SiteJobs, stats.DynamicJobs, stats.StructuralJobs)
+		if stats.DiskHits > 0 {
+			fmt.Printf("store: %d job(s) served from the disk tier\n", stats.DiskHits)
+		}
 	} else {
 		rep, err = e.Assert(target, tests)
 		if err != nil {
@@ -399,6 +454,7 @@ func runAssert(args []string) error {
 		}
 	}
 	if rep.Counts.Violations > 0 {
+		flushStore()
 		os.Exit(1)
 	}
 	return nil
@@ -417,6 +473,7 @@ func runGate(args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 0, "deadline per assertion job (0 = none)")
 	solverNodes := fs.Int("solver-nodes", 0, "DPLL node ceiling per SMT query (0 = default)")
 	stepBudget := fs.Int("step-budget", 0, "interpreter statement ceiling per test replay (0 = default)")
+	storeDir := fs.String("store", "", "back the snapshot, solver, and fingerprint caches with an on-disk store at this directory (created if missing)")
 	remote := fs.String("remote", "", "gate through a running lisa serve daemon at this base URL (e.g. http://127.0.0.1:7333) instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -465,14 +522,26 @@ func runGate(args []string) error {
 		SolverNodes: *solverNodes,
 		StepBudget:  *stepBudget,
 	}
+	var st *store.Store
+	flushStore := func() {}
+	if *storeDir != "" {
+		s, cleanup, err := attachStore(*storeDir, e)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		flushStore = cleanup
+		st = s
+	}
 	for _, tk := range cs.Tickets {
 		if _, err := e.ProcessTicket(tk); err != nil {
 			return err
 		}
 	}
 	opts := ci.GateOptions{Workers: *workers, Incremental: *incremental, FailOpen: *failOpen || !*failClosed}
-	if *workers != 1 || *incremental {
+	if *workers != 1 || *incremental || st != nil {
 		opts.Scheduler = sched.New()
+		opts.Scheduler.Cache().SetStore(st)
 	}
 	if *incremental && opts.Scheduler != nil {
 		// Warm the cache on the current head so the gate re-executes only
@@ -491,6 +560,7 @@ func runGate(args []string) error {
 	}
 	fmt.Print(res.Summary())
 	if !res.Pass {
+		flushStore()
 		os.Exit(1)
 	}
 	return nil

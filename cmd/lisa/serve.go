@@ -13,6 +13,7 @@ import (
 	"lisa/internal/core"
 	"lisa/internal/corpus"
 	"lisa/internal/server"
+	"lisa/internal/store"
 )
 
 // stringList collects a repeatable string flag (-watch DIR -watch DIR2).
@@ -42,10 +43,25 @@ func runServe(args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 0, "default deadline per assertion job (0 = none)")
 	solverNodes := fs.Int("solver-nodes", 0, "default DPLL node ceiling per SMT query (0 = package default)")
 	stepBudget := fs.Int("step-budget", 0, "default interpreter statement ceiling per test replay (0 = package default)")
+	storeDir := fs.String("store", "", "back the daemon's caches with an on-disk store at this directory, so a restarted daemon starts warm (created if missing)")
 	var watchRoots stringList
 	fs.Var(&watchRoots, "watch", "directory root to watch for MiniJ source changes (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			return fmt.Errorf("open store %s: %w", *storeDir, err)
+		}
+		defer func() {
+			st.Flush()
+			st.Close()
+		}()
+		fmt.Fprintf(os.Stderr, "lisa serve: cache store at %s (%d records)\n", st.Dir(), st.Stats().Records)
 	}
 
 	srv := server.New(server.Config{
@@ -60,6 +76,7 @@ func runServe(args []string) error {
 			SolverNodes: *solverNodes,
 			StepBudget:  *stepBudget,
 		},
+		Store: st,
 	})
 	for _, dir := range watchRoots {
 		if err := srv.RegisterRoot(dir); err != nil {

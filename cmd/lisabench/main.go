@@ -32,6 +32,7 @@ import (
 	"lisa/internal/program"
 	"lisa/internal/report"
 	"lisa/internal/smt"
+	"lisa/internal/store"
 )
 
 // benchOutput is the machine-readable summary -json writes: experiment
@@ -51,9 +52,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed for seeded experiments (chaos fault plan)")
 	jsonPath := flag.String("json", "", "write bench/summary numbers (experiment wall clock, cache and solver stats) to this file")
 	diffPath := flag.String("diff", "", "run the full sweep quietly and diff its counters against this committed BENCH_*.json; exit non-zero on >25% regression in the tracked hot-path counters")
+	storeDir := flag.String("store", "", "back the process-wide snapshot and solver caches with an on-disk store at this directory (default off: counters then match a store-less run exactly)")
 	flag.Parse()
 
 	experiments.ChaosSeed = *seed
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lisabench: open store:", err)
+			os.Exit(2)
+		}
+		program.DefaultCache().SetStore(st)
+		smt.DefaultQueryCache().SetStore(st)
+		defer func() {
+			st.Flush()
+			st.Close()
+		}()
+	}
 
 	c := corpus.Load()
 	if *diffPath != "" {

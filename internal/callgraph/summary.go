@@ -1,0 +1,100 @@
+package callgraph
+
+import (
+	"fmt"
+
+	"lisa/internal/minij"
+)
+
+// EdgeSummary is one call edge in serializable form: methods by qualified
+// name, the call expression by source position within the caller.
+type EdgeSummary struct {
+	Caller  string `json:"caller"`
+	Callee  string `json:"callee"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Dynamic bool   `json:"dynamic,omitempty"`
+}
+
+// Summary is a call graph flattened to data, suitable for persisting next
+// to a program's canonical form. Edges keep the exact order Build
+// discovered them in, so a graph rebuilt by FromSummary is
+// indistinguishable — including iteration order — from one Build produced.
+type Summary struct {
+	Edges []EdgeSummary `json:"edges"`
+}
+
+// Summary flattens the graph. The edge order is Build's discovery order:
+// callers in program order, each caller's call sites in AST walk order.
+func (g *Graph) Summary() *Summary {
+	sum := &Summary{}
+	for _, caller := range g.Prog.Methods() {
+		for _, e := range g.Callees[caller] {
+			pos := e.Call.Pos()
+			sum.Edges = append(sum.Edges, EdgeSummary{
+				Caller:  e.Caller.FullName(),
+				Callee:  e.Callee.FullName(),
+				Line:    pos.Line,
+				Col:     pos.Col,
+				Dynamic: e.Dynamic,
+			})
+		}
+	}
+	return sum
+}
+
+// FromSummary re-anchors a persisted summary onto a freshly parsed program:
+// methods resolve by qualified name, call expressions by position within
+// the caller's body. Any anchor that fails to resolve (or resolves
+// ambiguously) is an error, and the caller falls back to Build — a stale
+// or corrupt summary must never produce a silently wrong graph.
+func FromSummary(prog *minij.Program, sum *Summary) (*Graph, error) {
+	methods := map[string]*minij.Method{}
+	for _, m := range prog.Methods() {
+		methods[m.FullName()] = m
+	}
+	type callKey struct {
+		method *minij.Method
+		line   int
+		col    int
+	}
+	calls := map[callKey]*minij.Call{}
+	for _, m := range prog.Methods() {
+		minij.WalkExprs(m.Body, func(e minij.Expr) {
+			call, ok := e.(*minij.Call)
+			if !ok {
+				return
+			}
+			pos := call.Pos()
+			k := callKey{m, pos.Line, pos.Col}
+			if _, dup := calls[k]; dup {
+				calls[k] = nil // ambiguous anchor: poison it
+				return
+			}
+			calls[k] = call
+		})
+	}
+	g := &Graph{
+		Prog:    prog,
+		Callees: map[*minij.Method][]CallSite{},
+		Callers: map[*minij.Method][]CallSite{},
+	}
+	for _, e := range sum.Edges {
+		caller, ok := methods[e.Caller]
+		if !ok {
+			return nil, fmt.Errorf("callgraph: summary caller %s not in program", e.Caller)
+		}
+		callee, ok := methods[e.Callee]
+		if !ok {
+			return nil, fmt.Errorf("callgraph: summary callee %s not in program", e.Callee)
+		}
+		call, ok := calls[callKey{caller, e.Line, e.Col}]
+		if !ok || call == nil {
+			return nil, fmt.Errorf("callgraph: no unambiguous call at %s %d:%d", e.Caller, e.Line, e.Col)
+		}
+		edge := CallSite{Caller: caller, Callee: callee, Call: call, Dynamic: e.Dynamic}
+		g.Callees[caller] = append(g.Callees[caller], edge)
+		g.Callers[callee] = append(g.Callers[callee], edge)
+	}
+	return g, nil
+}

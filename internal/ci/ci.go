@@ -260,6 +260,9 @@ func (r *Result) Summary() string {
 	if s := r.Sched; s != nil {
 		fmt.Fprintf(&sb, "  jobs: %d total, %d executed, %d cache hits (workers=%d)\n",
 			s.Jobs, s.Executed, s.CacheHits, s.Workers)
+		if s.DiskHits > 0 {
+			fmt.Fprintf(&sb, "  store: %d job(s) served from the disk tier\n", s.DiskHits)
+		}
 		if s.Failures > 0 {
 			fmt.Fprintf(&sb, "  failures: %d job(s) contained\n", s.Failures)
 		}

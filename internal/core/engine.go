@@ -64,6 +64,11 @@ type Engine struct {
 	// before asserting over it, turning silent cache corruption into an
 	// explicit program.ErrMutated failure.
 	VerifySnapshots bool
+	// Solver, when set, is a private solver result cache for this engine;
+	// when nil the process-wide cache is used. A private instance gives
+	// exact per-engine query/hit accounting (the daemon's /stats deltas)
+	// and can carry its own disk tier.
+	Solver *smt.QueryCache
 }
 
 // New returns an engine with the deterministic patch analyzer (with

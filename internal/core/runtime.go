@@ -55,9 +55,10 @@ func (b Budget) jobContext(parent context.Context) (context.Context, context.Can
 }
 
 // solverLimits are the SMT query limits every job of this engine runs
-// under: the job context plus the configured node ceiling.
+// under: the job context, the configured node ceiling, and the engine's
+// private solver cache when it has one.
 func (e *Engine) solverLimits(ctx context.Context) smt.Limits {
-	return smt.Limits{Ctx: ctx, MaxNodes: e.Budget.SolverNodes}
+	return smt.Limits{Ctx: ctx, MaxNodes: e.Budget.SolverNodes, Cache: e.Solver}
 }
 
 // Failure reasons, in decreasing order of surprise: a panic is a contained

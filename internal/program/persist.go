@@ -1,0 +1,158 @@
+package program
+
+import (
+	"encoding/json"
+
+	"lisa/internal/faultinject"
+
+	"lisa/internal/callgraph"
+	"lisa/internal/minij"
+	"lisa/internal/store"
+)
+
+// snapNamespace versions the snapshot records in the on-disk store; bump
+// it when the record encoding changes so stale stores read as misses.
+const snapNamespace = "snap.v1"
+
+// snapRecord is the persisted form of a fully-warmed snapshot: the
+// canonical form (for the Verify check on restore), the derived artifacts
+// that are expensive to recompute, and the call-graph summary. The raw
+// source is NOT stored — the record is addressed by sha256(source), and a
+// restoring process always holds the source it is asking about.
+// Compile-error (negative) entries are never persisted: a record's
+// existence asserts that the source compiles.
+type snapRecord struct {
+	Canon   string             `json:"canon"`
+	Shape   string             `json:"shape"`
+	Methods map[string]string  `json:"methods"`
+	Graph   *callgraph.Summary `json:"graph,omitempty"`
+}
+
+// SetStore attaches (nil: detaches) the on-disk tier behind this cache.
+// Safe to call concurrently with loads.
+func (c *Cache) SetStore(st *store.Store) { c.disk.Store(st) }
+
+// CacheName identifies this cache in unified tier stats.
+func (c *Cache) CacheName() string { return "snapshot" }
+
+// TierStats reports the two-tier counters in the unified shape. MemHits /
+// MemMisses are the LRU's counters; DiskHits counts successful restores
+// (record fetched, re-parsed, and verified), DiskMisses both absent
+// records and records that failed verification.
+func (c *Cache) TierStats() store.TierStats {
+	c.mu.Lock()
+	hits, misses := c.hits, c.misses
+	c.mu.Unlock()
+	return store.TierStats{
+		Cache:      c.CacheName(),
+		MemHits:    hits,
+		MemMisses:  misses,
+		DiskHits:   c.restores.Load(),
+		DiskMisses: c.diskMisses.Load(),
+		DiskWrites: c.diskWrites.Load(),
+	}
+}
+
+var _ store.CacheBackend = (*Cache)(nil)
+
+// compile populates the snapshot exactly once: from the disk tier when a
+// verified record exists, else by the full front-end build (which is then
+// persisted, so the next process can restore it).
+func (s *Snapshot) compile() {
+	if s.cache != nil {
+		if st := s.cache.disk.Load(); st != nil {
+			if raw, ok := st.Get(snapNamespace, s.hash); ok {
+				var rec snapRecord
+				if json.Unmarshal(raw, &rec) == nil && s.restore(&rec) {
+					return
+				}
+			}
+			s.cache.diskMisses.Add(1)
+		}
+	}
+	s.build()
+	s.persist()
+}
+
+// restore adopts a persisted record: the source is re-parsed and
+// re-checked (the AST cannot be persisted), and the canonical render must
+// byte-match the record — the same Verify() machinery that catches mutated
+// snapshots catches stale or corrupt records here, falling back to a full
+// build. The derived artifacts (shape, per-method canon, graph summary)
+// are adopted without recomputation; the graph itself is re-anchored
+// lazily on first use.
+func (s *Snapshot) restore(rec *snapRecord) bool {
+	prog, err := minij.Parse(s.source)
+	if err != nil {
+		return false
+	}
+	if err := minij.Check(prog); err != nil {
+		return false
+	}
+	if minij.FormatProgram(prog) != rec.Canon {
+		return false
+	}
+	s.prog = prog
+	s.canon = rec.Canon
+	s.canonHash = Hash(rec.Canon)
+	s.restored = true
+	if rec.Shape != "" {
+		s.shapeOnce.Do(func() { s.shape = rec.Shape })
+	}
+	if len(rec.Methods) > 0 {
+		s.methodsOnce.Do(func() { s.methodCanon = rec.Methods })
+	}
+	s.graphSummary = rec.Graph
+	s.cache.restores.Add(1)
+	// The program.load fault-injection point fires on restored snapshots
+	// exactly as on built ones (after the canon is captured), so a chaos
+	// run keeps its cold-process fault cadence against a warm store.
+	if faultinject.Armed() {
+		if k, ok := faultinject.At("program.load"); ok && k == faultinject.Corrupt {
+			corruptProgram(prog)
+		}
+	}
+	return true
+}
+
+// persist writes a built snapshot to the disk tier: once right after the
+// front-end build (derived artifacts, no graph yet), and again after the
+// call graph is first built — the second record supersedes the first, so a
+// snapshot whose graph is never requested still restores without a
+// compile. A snapshot that fails its own Verify (the program.load
+// fault-injection point corrupts the AST after the canon is captured) is
+// never persisted, and store.Put additionally drops all writes while a
+// faultinject plan is armed.
+func (s *Snapshot) persist() {
+	if s.cache == nil || s.err != nil || s.restored {
+		return
+	}
+	st := s.cache.disk.Load()
+	if st == nil {
+		return
+	}
+	if s.Verify() != nil {
+		return
+	}
+	rec := snapRecord{
+		Canon:   s.canon,
+		Shape:   s.Shape(),
+		Methods: s.methodCanons(),
+	}
+	if s.graph != nil {
+		rec.Graph = s.graph.Summary()
+	}
+	raw, err := json.Marshal(&rec)
+	if err != nil {
+		return
+	}
+	st.Put(snapNamespace, s.hash, raw)
+	s.cache.diskWrites.Add(1)
+}
+
+// methodCanons returns the full per-method canonical map, building it once
+// through the same path MethodCanon uses.
+func (s *Snapshot) methodCanons() map[string]string {
+	s.MethodCanon("")
+	return s.methodCanon
+}

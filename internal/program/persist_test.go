@@ -1,0 +1,189 @@
+package program
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lisa/internal/faultinject"
+	"lisa/internal/store"
+)
+
+func openStoreT(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// warmStore compiles source into a store-attached cache far enough to
+// trigger persistence (the graph build), then flushes.
+func warmStore(t *testing.T, st *store.Store, source string) *Snapshot {
+	t.Helper()
+	warm := NewCache(8)
+	warm.SetStore(st)
+	snap, err := warm.Load(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Graph()
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestSnapshotRestore: a cold cache on a warm store restores the snapshot
+// without compiling — zero Compiles, the graph re-anchored from its
+// summary, and every derived artifact identical to the built original.
+func TestSnapshotRestore(t *testing.T) {
+	st := openStoreT(t)
+	built := warmStore(t, st, testSource)
+
+	cold := NewCache(8)
+	cold.SetStore(st)
+	snap, err := cold.Load(testSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := cold.Stats(); stats.Compiles != 0 || stats.Restores != 1 {
+		t.Fatalf("cold stats = %+v, want 0 compiles and 1 restore", stats)
+	}
+	if snap.Canon() != built.Canon() || snap.CanonHash() != built.CanonHash() {
+		t.Fatal("restored canon differs from built canon")
+	}
+	if snap.Shape() != built.Shape() {
+		t.Fatal("restored shape differs")
+	}
+	if snap.MethodCanon("PrepProcessor.processCreate") != built.MethodCanon("PrepProcessor.processCreate") {
+		t.Fatal("restored method canon differs")
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("restored snapshot fails Verify: %v", err)
+	}
+	g := snap.Graph()
+	if g == nil {
+		t.Fatal("restored snapshot has no graph")
+	}
+	gotSum, _ := json.Marshal(g.Summary())
+	wantSum, _ := json.Marshal(built.Graph().Summary())
+	if string(gotSum) != string(wantSum) {
+		t.Fatalf("restored graph differs:\n got %s\nwant %s", gotSum, wantSum)
+	}
+	if stats := cold.Stats(); stats.GraphBuilds != 0 || stats.GraphRestores != 1 {
+		t.Fatalf("cold graph stats = %+v, want 0 builds and 1 restore", stats)
+	}
+}
+
+// TestRestoreRejectsTamperedRecord: a record whose canon does not match
+// what the source actually renders to is refused — the Verify machinery on
+// the load path — and the snapshot falls back to a full compile.
+func TestRestoreRejectsTamperedRecord(t *testing.T) {
+	st := openStoreT(t)
+	warmStore(t, st, testSource)
+
+	// Forge the record: valid JSON, wrong canon.
+	raw, ok := st.Get(snapNamespace, Hash(testSource))
+	if !ok {
+		t.Fatal("no persisted record")
+	}
+	var rec snapRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Canon = rec.Canon + "\n// drifted"
+	forged, _ := json.Marshal(&rec)
+	st.Put(snapNamespace, Hash(testSource), forged)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewCache(8)
+	cold.SetStore(st)
+	snap, err := cold.Load(testSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := cold.Stats(); stats.Compiles != 1 || stats.Restores != 0 {
+		t.Fatalf("stats = %+v, want fallback compile", stats)
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("fallback snapshot fails Verify: %v", err)
+	}
+}
+
+// TestNegativeEntriesNeverPersisted: a compile error is cached in memory
+// (negative entry) but must never reach the disk tier.
+func TestNegativeEntriesNeverPersisted(t *testing.T) {
+	st := openStoreT(t)
+	c := NewCache(8)
+	c.SetStore(st)
+	bad := "class Broken {\n\tvoid f() {\n\t\tundefined_name + 1;\n\t}\n}\n"
+	if _, err := c.Load(bad); err == nil {
+		t.Fatal("bad source compiled")
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(snapNamespace, Hash(bad)); ok {
+		t.Fatal("negative entry reached the disk tier")
+	}
+	if s := st.Stats(); s.Records != 0 {
+		t.Fatalf("store has %d records, want 0", s.Records)
+	}
+}
+
+// TestArmedRunsNeverPersist: snapshots compiled while a faultinject plan
+// is armed (even one whose rules never fire) leave the store untouched.
+func TestArmedRunsNeverPersist(t *testing.T) {
+	st := openStoreT(t)
+	dir := st.Dir()
+	c := NewCache(8)
+	c.SetStore(st)
+
+	faultinject.Arm(faultinject.NewPlan(7).Set("unrelated.point", faultinject.Panic))
+	defer faultinject.Disarm()
+	snap, err := c.Load(testSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Graph()
+	faultinject.Disarm()
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "store.log")); err == nil {
+		b, _ := os.ReadFile(filepath.Join(dir, "store.log"))
+		if len(b) != 0 {
+			t.Fatalf("armed run wrote %d bytes to the store", len(b))
+		}
+	}
+}
+
+// TestCorruptedASTNeverPersisted: the program.load Corrupt point damages
+// the AST after the canon is captured; the persist path must detect the
+// mismatch (Verify) and refuse to write even if the plan is disarmed
+// before the graph build triggers persistence.
+func TestCorruptedASTNeverPersisted(t *testing.T) {
+	st := openStoreT(t)
+	c := NewCache(8)
+	c.SetStore(st)
+
+	faultinject.Arm(faultinject.NewPlan(7).Set("program.load", faultinject.Corrupt))
+	snap, err := c.Load(testSource)
+	faultinject.Disarm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Graph() // persist trigger — must refuse the corrupted snapshot
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(snapNamespace, Hash(testSource)); ok {
+		t.Fatal("corrupted snapshot reached the disk tier")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"lisa/internal/callgraph"
 	"lisa/internal/faultinject"
 	"lisa/internal/minij"
+	"lisa/internal/store"
 )
 
 // DefaultCapacity is the entry bound of the process-wide cache: large
@@ -48,6 +49,11 @@ type Snapshot struct {
 	err         error
 	canon       string
 	canonHash   string
+
+	// restored marks a snapshot adopted from the disk tier; graphSummary
+	// is its persisted call-graph, re-anchored lazily by Graph.
+	restored     bool
+	graphSummary *callgraph.Summary
 
 	graphOnce sync.Once
 	graph     *callgraph.Graph
@@ -85,16 +91,31 @@ func (s *Snapshot) Canon() string { return s.canon }
 // reformatting, unlike Hash.
 func (s *Snapshot) CanonHash() string { return s.canonHash }
 
-// Graph returns the call graph, built on first use and memoized.
+// Graph returns the call graph, built on first use and memoized. A
+// snapshot restored from the disk tier re-anchors its persisted summary
+// instead of rebuilding; any anchor failure falls back to a full build.
+// Building the graph is also the persist trigger: it is the last (and
+// most expensive) derived artifact, so a snapshot that reaches this point
+// cold is fully warmed and worth writing to the store.
 func (s *Snapshot) Graph() *callgraph.Graph {
 	s.graphOnce.Do(func() {
 		if s.prog == nil {
 			return
 		}
+		if s.graphSummary != nil {
+			if g, err := callgraph.FromSummary(s.prog, s.graphSummary); err == nil {
+				s.graph = g
+				if s.cache != nil {
+					s.cache.graphRestores.Add(1)
+				}
+				return
+			}
+		}
 		if s.cache != nil {
 			s.cache.graphBuilds.Add(1)
 		}
 		s.graph = callgraph.Build(s.prog)
+		s.persist()
 	})
 	return s.graph
 }
@@ -229,6 +250,14 @@ type Cache struct {
 
 	compiles    atomic.Uint64
 	graphBuilds atomic.Uint64
+
+	// disk is the optional on-disk tier (SetStore); the counters split
+	// restores (verified disk hits) from full compiles.
+	disk          atomic.Pointer[store.Store]
+	restores      atomic.Uint64
+	graphRestores atomic.Uint64
+	diskMisses    atomic.Uint64
+	diskWrites    atomic.Uint64
 }
 
 // NewCache returns an empty cache bounded to capacity entries
@@ -257,7 +286,7 @@ func (c *Cache) Load(source string) (*Snapshot, error) {
 		c.mu.Unlock()
 		// A concurrent loader may have inserted the entry and not finished
 		// compiling; Do blocks until the one compile completes.
-		snap.compileOnce.Do(snap.build)
+		snap.compileOnce.Do(snap.compile)
 		return snap.result()
 	}
 	c.misses++
@@ -270,7 +299,7 @@ func (c *Cache) Load(source string) (*Snapshot, error) {
 		c.evictions++
 	}
 	c.mu.Unlock()
-	snap.compileOnce.Do(snap.build)
+	snap.compileOnce.Do(snap.compile)
 	return snap.result()
 }
 
@@ -292,6 +321,12 @@ type CacheStats struct {
 	Evictions   uint64
 	Compiles    uint64
 	GraphBuilds uint64
+	// Restores counts snapshots adopted from the disk tier instead of
+	// compiled (each verified against its canonical form on the way in);
+	// GraphRestores counts call graphs re-anchored from a persisted
+	// summary instead of rebuilt. Both stay zero without a store.
+	Restores      uint64
+	GraphRestores uint64
 }
 
 // Sub returns the field-wise counter delta s − base. Entries is a
@@ -301,12 +336,14 @@ type CacheStats struct {
 // process concurrently.
 func (s CacheStats) Sub(base CacheStats) CacheStats {
 	return CacheStats{
-		Entries:     s.Entries,
-		Hits:        s.Hits - base.Hits,
-		Misses:      s.Misses - base.Misses,
-		Evictions:   s.Evictions - base.Evictions,
-		Compiles:    s.Compiles - base.Compiles,
-		GraphBuilds: s.GraphBuilds - base.GraphBuilds,
+		Entries:       s.Entries,
+		Hits:          s.Hits - base.Hits,
+		Misses:        s.Misses - base.Misses,
+		Evictions:     s.Evictions - base.Evictions,
+		Compiles:      s.Compiles - base.Compiles,
+		GraphBuilds:   s.GraphBuilds - base.GraphBuilds,
+		Restores:      s.Restores - base.Restores,
+		GraphRestores: s.GraphRestores - base.GraphRestores,
 	}
 }
 
@@ -315,12 +352,14 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:     c.order.Len(),
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Evictions:   c.evictions,
-		Compiles:    c.compiles.Load(),
-		GraphBuilds: c.graphBuilds.Load(),
+		Entries:       c.order.Len(),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Compiles:      c.compiles.Load(),
+		GraphBuilds:   c.graphBuilds.Load(),
+		Restores:      c.restores.Load(),
+		GraphRestores: c.graphRestores.Load(),
 	}
 }
 
@@ -339,6 +378,10 @@ func (c *Cache) Hashes() []string {
 // defaultCache is the process-wide snapshot store shared by the engine,
 // scheduler, gate, and experiment harnesses.
 var defaultCache = NewCache(DefaultCapacity)
+
+// DefaultCache returns the process-wide snapshot cache instance (e.g. for
+// attaching a disk tier behind it).
+func DefaultCache() *Cache { return defaultCache }
 
 // Load serves source from the process-wide cache.
 func Load(source string) (*Snapshot, error) { return defaultCache.Load(source) }

@@ -2,10 +2,12 @@ package sched
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"lisa/internal/concolic"
 	"lisa/internal/contract"
 	"lisa/internal/core"
+	"lisa/internal/store"
 )
 
 // Cache is the fingerprint-keyed result store. It survives across Assert
@@ -14,6 +16,11 @@ import (
 // copied on put and on get, so report mutation (the dynamic overlay) never
 // corrupts cached state. All methods are safe for concurrent use by the
 // worker pool.
+//
+// An optional on-disk tier (SetStore) extends the cache across processes:
+// memory misses consult the store, decoded records are re-anchored onto the
+// current run's program and promoted into memory, and successful executions
+// write through (persist.go).
 type Cache struct {
 	mu         sync.Mutex
 	sites      map[string]*siteEntry
@@ -21,6 +28,11 @@ type Cache struct {
 	dynamic    map[string]*dynOverlay
 	hits       int
 	misses     int
+
+	disk       atomic.Pointer[store.Store]
+	diskHits   atomic.Uint64
+	diskMisses atomic.Uint64
+	diskWrites atomic.Uint64
 }
 
 // NewCache returns an empty cache.
@@ -32,11 +44,17 @@ func NewCache() *Cache {
 	}
 }
 
-// CacheStats is a point-in-time cache counter snapshot.
+// CacheStats is a point-in-time cache counter snapshot. The disk counters
+// stay zero until a store is attached.
 type CacheStats struct {
 	Entries int
 	Hits    int
 	Misses  int
+	// Disk-tier counters: hits decoded and re-anchored from the store,
+	// misses (absent, stale, or unanchorable records), and write-throughs.
+	DiskHits   uint64
+	DiskMisses uint64
+	DiskWrites uint64
 }
 
 // Stats returns cumulative hit/miss counters and the entry count.
@@ -44,9 +62,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries: len(c.sites) + len(c.structural) + len(c.dynamic),
-		Hits:    c.hits,
-		Misses:  c.misses,
+		Entries:    len(c.sites) + len(c.structural) + len(c.dynamic),
+		Hits:       c.hits,
+		Misses:     c.misses,
+		DiskHits:   c.diskHits.Load(),
+		DiskMisses: c.diskMisses.Load(),
+		DiskWrites: c.diskWrites.Load(),
 	}
 }
 

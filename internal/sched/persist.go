@@ -1,0 +1,376 @@
+package sched
+
+import (
+	"encoding/json"
+
+	"lisa/internal/concolic"
+	"lisa/internal/contract"
+	"lisa/internal/core"
+	"lisa/internal/minij"
+	"lisa/internal/smt"
+	"lisa/internal/store"
+)
+
+// Disk-tier namespaces, one per job kind, versioned so an encoding change
+// reads as a clean miss instead of a decode failure.
+const (
+	siteNamespace       = "fp.site.v1"
+	structuralNamespace = "fp.str.v1"
+	dynamicNamespace    = "fp.dyn.v1"
+)
+
+// SetStore attaches (nil: detaches) the on-disk tier behind this cache.
+// Safe to call concurrently with running jobs.
+func (c *Cache) SetStore(st *store.Store) { c.disk.Store(st) }
+
+// CacheName identifies this cache in unified tier stats.
+func (c *Cache) CacheName() string { return "fingerprint" }
+
+// TierStats reports the two-tier counters in the unified shape.
+func (c *Cache) TierStats() store.TierStats {
+	c.mu.Lock()
+	hits, misses := c.hits, c.misses
+	c.mu.Unlock()
+	return store.TierStats{
+		Cache:      c.CacheName(),
+		MemHits:    uint64(hits),
+		MemMisses:  uint64(misses),
+		DiskHits:   c.diskHits.Load(),
+		DiskMisses: c.diskMisses.Load(),
+		DiskWrites: c.diskWrites.Load(),
+	}
+}
+
+var _ store.CacheBackend = (*Cache)(nil)
+
+// --- record shapes --------------------------------------------------------
+//
+// Cached results hold pointers into a run's AST (sites, methods,
+// statements) and solver formulas, none of which can be persisted directly.
+// The records below flatten them to canonical text and stable anchors
+// (qualified method names, statement IDs, source positions), and the decode
+// side re-anchors onto the current run's program. Every anchor is verified:
+// a formula must re-render to the exact persisted text, a method or
+// statement must resolve unambiguously. Any mismatch makes the whole record
+// a miss — a stale or corrupt record must never produce a silently wrong
+// report.
+
+type guardRecord struct {
+	Guard string `json:"guard"`
+	Taken bool   `json:"taken"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+}
+
+type pathRecord struct {
+	Cond           string            `json:"cond,omitempty"`
+	FullCond       string            `json:"fullCond,omitempty"`
+	Bindings       map[string]string `json:"bindings,omitempty"`
+	Guards         []guardRecord     `json:"guards,omitempty"`
+	Verdict        int               `json:"verdict"`
+	CoveredBy      []string          `json:"coveredBy,omitempty"`
+	DynVerdicts    map[string]int    `json:"dynVerdicts,omitempty"`
+	PostViolatedBy []string          `json:"postViolatedBy,omitempty"`
+}
+
+type siteRecord struct {
+	Truncated bool         `json:"truncated,omitempty"`
+	Paths     []pathRecord `json:"paths"`
+}
+
+type violationRecord struct {
+	Rule    string   `json:"rule"`
+	Method  string   `json:"method"`
+	Stmt    int      `json:"stmt"`
+	Builtin string   `json:"builtin,omitempty"`
+	Chain   []string `json:"chain,omitempty"`
+}
+
+type structuralRecord struct {
+	SanityOK    bool              `json:"sanityOK"`
+	Violations  []violationRecord `json:"violations,omitempty"`
+	ConfirmedBy map[int][]string  `json:"confirmedBy,omitempty"`
+}
+
+type dynPathRecord struct {
+	CoveredBy      []string       `json:"coveredBy,omitempty"`
+	DynVerdicts    map[string]int `json:"dynVerdicts,omitempty"`
+	PostViolatedBy []string       `json:"postViolatedBy,omitempty"`
+}
+
+type dynSiteRecord struct {
+	Selected []string        `json:"selected,omitempty"`
+	Paths    []dynPathRecord `json:"paths"`
+}
+
+type dynRecord struct {
+	TestsRun int             `json:"testsRun"`
+	Sites    []dynSiteRecord `json:"sites"`
+}
+
+// --- formulas -------------------------------------------------------------
+
+// renderFormula flattens a formula to its canonical text; nil renders as
+// the empty string.
+func renderFormula(f smt.Formula) string {
+	if f == nil {
+		return ""
+	}
+	return f.String()
+}
+
+// parseFormula is the inverse, with the round trip verified: the re-parsed
+// formula must render byte-identically to the persisted text, so rendering
+// cached reports can never drift from what the original run produced.
+func parseFormula(src string) (smt.Formula, bool) {
+	if src == "" {
+		return nil, true
+	}
+	f, err := smt.ParsePredicate(src)
+	if err != nil || f.String() != src {
+		return nil, false
+	}
+	return f, true
+}
+
+func encodeVerdicts(m map[string]concolic.Verdict) map[string]int {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = int(v)
+	}
+	return out
+}
+
+func decodeVerdicts(m map[string]int) map[string]concolic.Verdict {
+	out := make(map[string]concolic.Verdict, len(m))
+	for k, v := range m {
+		out[k] = concolic.Verdict(v)
+	}
+	return out
+}
+
+// --- site records ---------------------------------------------------------
+
+func encodeSite(siteRep *core.SiteReport) *siteRecord {
+	rec := &siteRecord{Truncated: siteRep.TreeTruncated, Paths: make([]pathRecord, len(siteRep.Paths))}
+	for i, p := range siteRep.Paths {
+		pr := pathRecord{
+			Verdict:        int(p.Verdict),
+			CoveredBy:      p.CoveredBy,
+			DynVerdicts:    encodeVerdicts(p.DynamicVerdicts),
+			PostViolatedBy: p.PostViolatedBy,
+		}
+		if sp := p.Static; sp != nil {
+			pr.Cond = renderFormula(sp.Cond)
+			pr.FullCond = renderFormula(sp.FullCond)
+			pr.Bindings = sp.Bindings
+			pr.Guards = make([]guardRecord, len(sp.Guards))
+			for j, g := range sp.Guards {
+				pr.Guards[j] = guardRecord{Guard: g.Guard, Taken: g.Taken, Line: g.Pos.Line, Col: g.Pos.Col}
+			}
+		}
+		rec.Paths[i] = pr
+	}
+	return rec
+}
+
+// decodeSite rebuilds path reports onto the current run's site object, so
+// dynamic replay and rendering see the current program exactly as a memory
+// hit would.
+func decodeSite(rec *siteRecord, site *contract.Site) ([]*core.PathReport, bool) {
+	paths := make([]*core.PathReport, len(rec.Paths))
+	for i, pr := range rec.Paths {
+		cond, ok := parseFormula(pr.Cond)
+		if !ok {
+			return nil, false
+		}
+		full, ok := parseFormula(pr.FullCond)
+		if !ok {
+			return nil, false
+		}
+		sp := &concolic.StaticPath{Site: site, Cond: cond, FullCond: full, Bindings: pr.Bindings}
+		if len(pr.Guards) > 0 {
+			sp.Guards = make([]concolic.GuardStep, len(pr.Guards))
+			for j, g := range pr.Guards {
+				sp.Guards[j] = concolic.GuardStep{Guard: g.Guard, Taken: g.Taken, Pos: minij.Pos{Line: g.Line, Col: g.Col}}
+			}
+		}
+		paths[i] = &core.PathReport{
+			Static:          sp,
+			Verdict:         concolic.Verdict(pr.Verdict),
+			CoveredBy:       pr.CoveredBy,
+			DynamicVerdicts: decodeVerdicts(pr.DynVerdicts),
+			PostViolatedBy:  pr.PostViolatedBy,
+		}
+	}
+	return paths, true
+}
+
+// --- structural records ---------------------------------------------------
+
+func encodeStructural(sr *core.SemanticReport) *structuralRecord {
+	rec := &structuralRecord{SanityOK: sr.SanityOK, ConfirmedBy: sr.StructuralConfirmedBy}
+	for _, v := range sr.Structural {
+		vr := violationRecord{Rule: v.Rule, Builtin: v.Builtin, Chain: v.Chain, Stmt: -1}
+		if v.Method != nil {
+			vr.Method = v.Method.FullName()
+		}
+		if v.Stmt != nil {
+			vr.Stmt = v.Stmt.ID()
+		}
+		rec.Violations = append(rec.Violations, vr)
+	}
+	return rec
+}
+
+// decodeStructural re-anchors the violations onto the current system
+// program: methods by qualified name, statements by ID (stable for a given
+// canonical program, which the fingerprint pins).
+func decodeStructural(rec *structuralRecord, sem *contract.Semantic, prog *minij.Program) (*core.SemanticReport, bool) {
+	methods := map[string]*minij.Method{}
+	for _, m := range prog.Methods() {
+		methods[m.FullName()] = m
+	}
+	sr := &core.SemanticReport{Semantic: sem, SanityOK: rec.SanityOK, StructuralConfirmedBy: rec.ConfirmedBy}
+	for _, vr := range rec.Violations {
+		v := &contract.StructuralViolation{Rule: vr.Rule, Builtin: vr.Builtin, Chain: vr.Chain}
+		if vr.Method != "" {
+			m, ok := methods[vr.Method]
+			if !ok {
+				return nil, false
+			}
+			v.Method = m
+		}
+		if vr.Stmt >= 0 {
+			stmt := prog.StmtByID(vr.Stmt)
+			if stmt == nil {
+				return nil, false
+			}
+			v.Stmt = stmt
+		}
+		sr.Structural = append(sr.Structural, v)
+	}
+	return sr, true
+}
+
+// --- dynamic records ------------------------------------------------------
+
+func encodeDynamic(ov *dynOverlay) *dynRecord {
+	rec := &dynRecord{TestsRun: ov.testsRun, Sites: make([]dynSiteRecord, len(ov.sites))}
+	for i, s := range ov.sites {
+		ds := dynSiteRecord{Selected: s.selected, Paths: make([]dynPathRecord, len(s.paths))}
+		for j, p := range s.paths {
+			ds.Paths[j] = dynPathRecord{
+				CoveredBy:      p.coveredBy,
+				DynVerdicts:    encodeVerdicts(p.dynVerdicts),
+				PostViolatedBy: p.postViolatedBy,
+			}
+		}
+		rec.Sites[i] = ds
+	}
+	return rec
+}
+
+func decodeDynamic(rec *dynRecord) *dynOverlay {
+	ov := &dynOverlay{testsRun: rec.TestsRun, sites: make([]siteDyn, len(rec.Sites))}
+	for i, ds := range rec.Sites {
+		s := siteDyn{selected: ds.Selected, paths: make([]pathDyn, len(ds.Paths))}
+		for j, p := range ds.Paths {
+			s.paths[j] = pathDyn{
+				coveredBy:      p.CoveredBy,
+				dynVerdicts:    decodeVerdicts(p.DynVerdicts),
+				postViolatedBy: p.PostViolatedBy,
+			}
+		}
+		ov.sites[i] = s
+	}
+	return ov
+}
+
+// --- disk tier ------------------------------------------------------------
+
+// diskGet fetches and unmarshals one record; a decode failure counts as a
+// miss (the CRC layer below already rejected torn or corrupted frames, so
+// a JSON failure here means a version skew).
+func (c *Cache) diskGet(ns, fp string, into any) bool {
+	st := c.disk.Load()
+	if st == nil {
+		return false
+	}
+	raw, ok := st.Get(ns, fp)
+	if !ok || json.Unmarshal(raw, into) != nil {
+		c.diskMisses.Add(1)
+		return false
+	}
+	return true
+}
+
+func (c *Cache) diskPut(ns, fp string, rec any) {
+	st := c.disk.Load()
+	if st == nil {
+		return
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	st.Put(ns, fp, raw)
+	c.diskWrites.Add(1)
+}
+
+// diskGetSite serves a site job from the disk tier, re-anchored onto the
+// current run's site.
+func (c *Cache) diskGetSite(fp string, site *contract.Site) ([]*core.PathReport, bool, bool) {
+	var rec siteRecord
+	if !c.diskGet(siteNamespace, fp, &rec) {
+		return nil, false, false
+	}
+	paths, ok := decodeSite(&rec, site)
+	if !ok {
+		c.diskMisses.Add(1)
+		return nil, false, false
+	}
+	c.diskHits.Add(1)
+	return paths, rec.Truncated, true
+}
+
+func (c *Cache) diskPutSite(fp string, siteRep *core.SiteReport) {
+	c.diskPut(siteNamespace, fp, encodeSite(siteRep))
+}
+
+// diskGetStructural serves a structural job from the disk tier, re-anchored
+// onto the current system program.
+func (c *Cache) diskGetStructural(fp string, sem *contract.Semantic, prog *minij.Program) (*core.SemanticReport, bool) {
+	var rec structuralRecord
+	if !c.diskGet(structuralNamespace, fp, &rec) {
+		return nil, false
+	}
+	sr, ok := decodeStructural(&rec, sem, prog)
+	if !ok {
+		c.diskMisses.Add(1)
+		return nil, false
+	}
+	c.diskHits.Add(1)
+	return sr, true
+}
+
+func (c *Cache) diskPutStructural(fp string, sr *core.SemanticReport) {
+	c.diskPut(structuralNamespace, fp, encodeStructural(sr))
+}
+
+// diskGetDynamic serves a replay overlay from the disk tier.
+func (c *Cache) diskGetDynamic(fp string) (*dynOverlay, bool) {
+	var rec dynRecord
+	if !c.diskGet(dynamicNamespace, fp, &rec) {
+		return nil, false
+	}
+	c.diskHits.Add(1)
+	return decodeDynamic(&rec), true
+}
+
+func (c *Cache) diskPutDynamic(fp string, ov *dynOverlay) {
+	c.diskPut(dynamicNamespace, fp, encodeDynamic(ov))
+}

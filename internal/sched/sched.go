@@ -56,6 +56,9 @@ type Stats struct {
 	// Failures counts jobs that ended in a contained failure (panic,
 	// timeout, budget); their semantics report INCONCLUSIVE.
 	Failures int
+	// DiskHits counts the cache hits served from the fingerprint cache's
+	// disk tier (a subset of CacheHits; zero unless a store is attached).
+	DiskHits uint64
 	// AssertedSemantics/SkippedSemantics partition the registry: a
 	// semantic is skipped when every one of its jobs was served from
 	// cache, i.e. the gate re-used its previous verdicts wholesale.
@@ -65,11 +68,11 @@ type Stats struct {
 	DirtyMethods []string
 	// DirtyAll marks a change that could not be localized to method bodies.
 	DirtyAll bool
-	// SolverQueries and SolverCacheHits are deltas of the process-wide
-	// smt counters observed across this run: how many satisfiability
-	// queries the run issued and how many the solver result cache
-	// answered. Observability only — job fingerprints do not include them
-	// — and approximate when other runs share the process concurrently.
+	// SolverQueries and SolverCacheHits count the satisfiability queries
+	// the run issued and how many the solver result cache answered.
+	// Exact when the engine carries a private solver cache (core.Engine
+	// .Solver); otherwise they are deltas of the process-wide smt
+	// counters, approximate when other runs share the process.
 	SolverQueries   uint64
 	SolverCacheHits uint64
 }
@@ -178,12 +181,25 @@ func (s *Scheduler) assertContext(parent context.Context, e *core.Engine, ctx *c
 		workers = runtime.GOMAXPROCS(0)
 	}
 	stats := &Stats{Workers: workers}
-	solverBefore := smt.Stats()
-	defer func() {
-		solverAfter := smt.Stats()
-		stats.SolverQueries = solverAfter.Queries - solverBefore.Queries
-		stats.SolverCacheHits = solverAfter.CacheHits - solverBefore.CacheHits
-	}()
+	diskBefore := s.cache.diskHits.Load()
+	defer func() { stats.DiskHits = s.cache.diskHits.Load() - diskBefore }()
+	if e.Solver != nil {
+		// A private solver cache gives an exact per-run delta no matter
+		// what the rest of the process does concurrently.
+		before := e.Solver.Stats()
+		defer func() {
+			d := e.Solver.Stats().Sub(before)
+			stats.SolverQueries = d.Queries
+			stats.SolverCacheHits = d.Hits
+		}()
+	} else {
+		solverBefore := smt.Stats()
+		defer func() {
+			solverAfter := smt.Stats()
+			stats.SolverQueries = solverAfter.Queries - solverBefore.Queries
+			stats.SolverCacheHits = solverAfter.CacheHits - solverBefore.CacheHits
+		}()
+	}
 
 	var dirty *Dirty
 	if opts.Incremental && (opts.Base != nil || opts.BaseSource != "") {
@@ -366,9 +382,16 @@ func (s *Scheduler) runJob(rctx context.Context, e *core.Engine, ctx *core.Asser
 			j.cacheHit = true
 			return
 		}
+		if sr, ok := s.cache.diskGetStructural(j.fp, j.sem, ctx.ProgSys); ok {
+			j.sr = sr
+			s.cache.putStructural(j.fp, sr)
+			j.cacheHit = true
+			return
+		}
 		j.sr = e.StructuralJob(rctx, ctx, j.name, j.sem, j.tm)
 		if len(j.sr.Failures) == 0 {
 			s.cache.putStructural(j.fp, j.sr)
+			s.cache.diskPutStructural(j.fp, j.sr)
 		}
 		j.executed = true
 	case jobSite:
@@ -378,9 +401,17 @@ func (s *Scheduler) runJob(rctx context.Context, e *core.Engine, ctx *core.Asser
 			j.cacheHit = true
 			return
 		}
+		if paths, truncated, ok := s.cache.diskGetSite(j.fp, j.siteRep.Site); ok {
+			j.siteRep.Paths = paths
+			j.siteRep.TreeTruncated = truncated
+			s.cache.putSite(j.fp, j.siteRep)
+			j.cacheHit = true
+			return
+		}
 		j.failure = e.SiteJob(rctx, ctx, j.name, j.siteRep, j.tm)
 		if j.failure == nil {
 			s.cache.putSite(j.fp, j.siteRep)
+			s.cache.diskPutSite(j.fp, j.siteRep)
 		}
 		j.executed = true
 	case jobDynamic:
@@ -390,9 +421,18 @@ func (s *Scheduler) runJob(rctx context.Context, e *core.Engine, ctx *core.Asser
 			j.cacheHit = true
 			return
 		}
+		if ov, ok := s.cache.diskGetDynamic(j.fp); ok {
+			applyOverlay(j.sr, ov)
+			j.testsRun = ov.testsRun
+			s.cache.putDynamic(j.fp, ov)
+			j.cacheHit = true
+			return
+		}
 		j.testsRun, j.failure = e.DynamicJob(rctx, ctx, j.name, j.sr, j.tm)
 		if j.failure == nil {
-			s.cache.putDynamic(j.fp, extractOverlay(j.sr, j.testsRun))
+			ov := extractOverlay(j.sr, j.testsRun)
+			s.cache.putDynamic(j.fp, ov)
+			s.cache.diskPutDynamic(j.fp, ov)
 		}
 		j.executed = true
 	}

@@ -9,6 +9,7 @@ import (
 	"lisa/internal/program"
 	"lisa/internal/sched"
 	"lisa/internal/smt"
+	"lisa/internal/store"
 	"lisa/internal/ticket"
 )
 
@@ -120,12 +121,12 @@ type AssertResponse struct {
 
 // CacheDelta records what one request cost the hot caches: the scheduler
 // job split plus the solver and snapshot counter growth observed across
-// the run. Scheduler numbers are exact (per-run). The solver delta is a
-// process-global counter difference and the snapshot delta is taken over
-// the server's private cache shared by all its cases — both are exact
-// under serial load and approximate when requests on other cases (or
-// other servers in the same process) run concurrently; see the package
-// comment on delta accounting.
+// the run. Scheduler and solver numbers are exact (per-run; the solver
+// delta is read from the case engine's private cache, which nothing else
+// in the process touches). The snapshot delta is taken over the server's
+// private cache shared by all its cases — exact under serial load and
+// approximate when requests on other cases run concurrently; see the
+// package comment on delta accounting.
 type CacheDelta struct {
 	SchedJobs        int    `json:"sched_jobs"`
 	SchedExecuted    int    `json:"sched_executed"`
@@ -157,6 +158,9 @@ type WatcherStats struct {
 type CaseStats struct {
 	Case       string           `json:"case"`
 	SchedCache sched.CacheStats `json:"sched_cache"`
+	// Solver is the case engine's private solver cache — exact per case,
+	// regardless of what other cases or processes do.
+	Solver smt.QueryCacheStats `json:"solver"`
 }
 
 // RequestCounts is the per-endpoint request ledger.
@@ -168,20 +172,24 @@ type RequestCounts struct {
 
 // StatsResponse aggregates the counters that previously only lisabench
 // could see, scoped to this server instance. Snapshot is the server's
-// private snapshot cache (exact per instance). Solver is the growth of the
-// process-wide solver counters since this server was created — exact while
-// this server is the only solver user in the process, approximate
-// otherwise (documented delta accounting; see smt.SolverStats.Sub).
+// private snapshot cache (exact per instance). Solver is the field-wise sum
+// of the per-case engines' private solver caches — exact always, no matter
+// what the rest of the process is doing (each engine owns its instance).
+// Store and Tiers appear when the daemon runs over an on-disk store: Store
+// is the store's own ledger, Tiers the unified two-tier counters of every
+// cache backed by it (snapshot, fingerprint per case, solver per case).
 type StatsResponse struct {
-	UptimeMS   float64            `json:"uptime_ms"`
-	Draining   bool               `json:"draining"`
-	Inflight   int                `json:"inflight"`
-	Requests   RequestCounts      `json:"requests"`
-	Cases      []CaseStats        `json:"cases"`
-	Snapshot   program.CacheStats `json:"snapshot_cache"`
-	Solver     smt.SolverStats    `json:"solver"`
-	Watcher    WatcherStats       `json:"watcher"`
-	HistoryLen int                `json:"history_len"`
+	UptimeMS   float64             `json:"uptime_ms"`
+	Draining   bool                `json:"draining"`
+	Inflight   int                 `json:"inflight"`
+	Requests   RequestCounts       `json:"requests"`
+	Cases      []CaseStats         `json:"cases"`
+	Snapshot   program.CacheStats  `json:"snapshot_cache"`
+	Solver     smt.QueryCacheStats `json:"solver"`
+	Store      *store.Stats        `json:"store,omitempty"`
+	Tiers      []store.TierStats   `json:"tiers,omitempty"`
+	Watcher    WatcherStats        `json:"watcher"`
+	HistoryLen int                 `json:"history_len"`
 }
 
 // errorResponse is the JSON body of every non-2xx reply.

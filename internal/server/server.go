@@ -19,13 +19,17 @@
 //
 // Delta accounting: the /stats endpoint and per-request cache deltas are
 // scoped to this server instance. The snapshot cache is a private
-// program.Cache, so its numbers are exact per server. The solver counters
-// are process-global (the query cache is shared by design); the server
-// snapshots them at creation and reports growth since then, which is exact
-// while it is the only solver user in the process — e.g. servers created
-// in sequence by tests — and approximate when other runs share the process
-// concurrently. Per-request deltas are likewise exact under serial load
-// and approximate across concurrently running cases.
+// program.Cache, so its numbers are exact per server. Each case engine
+// carries a private solver query cache (core.Engine.Solver), so solver
+// deltas are exact per request and per case no matter what the rest of the
+// process is doing; /stats reports their field-wise sum. Snapshot-cache
+// per-request deltas remain exact under serial load and approximate across
+// concurrently running cases (the cache is shared between cases).
+//
+// Two-tier mode: when Config.Store is set, the snapshot cache, every
+// case's fingerprint cache, and every case engine's solver cache are
+// backed by the shared on-disk store, so a restarted daemon starts warm.
+// /stats then also reports the store ledger and per-cache tier counters.
 package server
 
 import (
@@ -44,6 +48,7 @@ import (
 	"lisa/internal/program"
 	"lisa/internal/sched"
 	"lisa/internal/smt"
+	"lisa/internal/store"
 	"lisa/internal/ticket"
 )
 
@@ -79,6 +84,10 @@ type Config struct {
 	// SnapshotCapacity bounds the server's private snapshot cache
 	// (0 = program.DefaultCapacity).
 	SnapshotCapacity int
+	// Store, when set, is the shared on-disk tier behind every cache the
+	// daemon owns (snapshots, per-case fingerprints, per-case solver
+	// results). The caller opens and closes it; the server only attaches.
+	Store *store.Store
 }
 
 // caseRuntime is the long-lived per-case state: the engine with the case's
@@ -104,8 +113,7 @@ type Server struct {
 	hist      *History
 	watch     *watcher
 
-	started    time.Time
-	solverBase smt.SolverStats
+	started time.Time
 
 	casesMu sync.Mutex
 	cases   map[string]*caseRuntime
@@ -126,19 +134,19 @@ type Server struct {
 	testRequestDelay time.Duration
 }
 
-// New returns a daemon over cfg.Corpus. The solver counter baseline is
-// snapshotted here: /stats reports growth since this call.
+// New returns a daemon over cfg.Corpus. Solver accounting is exact per
+// case: every case engine gets a private query cache at first use.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:        cfg,
-		corpus:     cfg.Corpus,
-		snapshots:  program.NewCache(cfg.SnapshotCapacity),
-		hist:       NewHistory(cfg.HistorySize),
-		started:    time.Now(),
-		solverBase: smt.Stats(),
-		cases:      map[string]*caseRuntime{},
-		idle:       make(chan struct{}, 1),
+		cfg:       cfg,
+		corpus:    cfg.Corpus,
+		snapshots: program.NewCache(cfg.SnapshotCapacity),
+		hist:      NewHistory(cfg.HistorySize),
+		started:   time.Now(),
+		cases:     map[string]*caseRuntime{},
+		idle:      make(chan struct{}, 1),
 	}
+	s.snapshots.SetStore(cfg.Store)
 	s.watch = newWatcher(s, cfg.WatchInterval)
 	return s
 }
@@ -183,6 +191,8 @@ func (s *Server) runtime(id string) (*caseRuntime, error) {
 	rt.once.Do(func() {
 		e := core.New()
 		e.Snapshots = s.snapshots
+		e.Solver = smt.NewQueryCache(0)
+		e.Solver.SetStore(s.cfg.Store)
 		for _, tk := range cs.Tickets {
 			if _, err := e.ProcessTicket(tk); err != nil {
 				rt.err = fmt.Errorf("process %s: %w", tk.ID, err)
@@ -191,6 +201,7 @@ func (s *Server) runtime(id string) (*caseRuntime, error) {
 		}
 		rt.engine = e
 		rt.sched = sched.New()
+		rt.sched.Cache().SetStore(s.cfg.Store)
 	})
 	return rt, rt.err
 }
@@ -330,7 +341,7 @@ func (s *Server) handleGate(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	start := time.Now()
-	smtBefore := smt.Stats()
+	solverBefore := rt.engine.Solver.Stats()
 	snapBefore := s.snapshots.Stats()
 	if req.Incremental && !rt.primed {
 		// Warm the fingerprint cache on the current head once per case, so
@@ -357,7 +368,7 @@ func (s *Server) handleGate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	delta := s.cacheDelta(smtBefore, snapBefore, res.Sched)
+	delta := s.cacheDelta(rt, solverBefore, snapBefore, res.Sched)
 	resp := &GateResponse{
 		Case:       req.Case,
 		Pass:       res.Pass,
@@ -428,7 +439,7 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	start := time.Now()
-	smtBefore := smt.Stats()
+	solverBefore := rt.engine.Solver.Stats()
 	snapBefore := s.snapshots.Stats()
 	prevBudget := rt.engine.Budget
 	rt.engine.Budget = budget
@@ -438,7 +449,7 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	delta := s.cacheDelta(smtBefore, snapBefore, stats)
+	delta := s.cacheDelta(rt, solverBefore, snapBefore, stats)
 	resp := &AssertResponse{
 		Case:    req.Case,
 		Verdict: assertVerdict(rep.Counts.Violations),
@@ -492,6 +503,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.casesMu.Unlock()
 	sort.Strings(ids)
 	var cases []CaseStats
+	var solver smt.QueryCacheStats
+	var tiers []store.TierStats
+	if s.cfg.Store != nil {
+		tiers = append(tiers, s.snapshots.TierStats())
+	}
 	for _, id := range ids {
 		s.casesMu.Lock()
 		rt := s.cases[id]
@@ -499,7 +515,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if rt.sched == nil {
 			continue
 		}
-		cases = append(cases, CaseStats{Case: id, SchedCache: rt.sched.Cache().Stats()})
+		qs := rt.engine.Solver.Stats()
+		solver = solver.Add(qs)
+		cases = append(cases, CaseStats{Case: id, SchedCache: rt.sched.Cache().Stats(), Solver: qs})
+		if s.cfg.Store != nil {
+			tiers = append(tiers,
+				withCase(rt.sched.Cache().TierStats(), id),
+				withCase(rt.engine.Solver.TierStats(), id))
+		}
 	}
 	s.stateMu.Lock()
 	resp := &StatsResponse{
@@ -511,10 +534,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.stateMu.Unlock()
 	resp.Cases = cases
 	resp.Snapshot = s.snapshots.Stats()
-	resp.Solver = smt.Stats().Sub(s.solverBase)
+	resp.Solver = solver
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		resp.Store = &ss
+		resp.Tiers = tiers
+	}
 	resp.Watcher = s.watch.statsSnapshot()
 	resp.HistoryLen = s.hist.Len()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// withCase qualifies a tier-stats cache name with its case id (the
+// snapshot cache is server-wide; fingerprint and solver tiers are per
+// case).
+func withCase(ts store.TierStats, id string) store.TierStats {
+	ts.Cache = ts.Cache + ":" + id
+	return ts
 }
 
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
@@ -535,20 +571,19 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // cacheDelta assembles the per-request cache ledger from the scheduler's
-// run stats and the counter growth observed across the run.
-func (s *Server) cacheDelta(smtBefore smt.SolverStats, snapBefore program.CacheStats, st *sched.Stats) CacheDelta {
+// run stats and the counter growth observed across the run. The solver
+// delta is read from the case engine's private query cache, so it is exact
+// even when other cases run concurrently.
+func (s *Server) cacheDelta(rt *caseRuntime, solverBefore smt.QueryCacheStats, snapBefore program.CacheStats, st *sched.Stats) CacheDelta {
 	d := CacheDelta{}
 	if st != nil {
 		d.SchedJobs = st.Jobs
 		d.SchedExecuted = st.Executed
 		d.SchedCacheHits = st.CacheHits
-		d.SolverQueries = st.SolverQueries
-		d.SolverCacheHits = st.SolverCacheHits
-	} else {
-		sd := smt.Stats().Sub(smtBefore)
-		d.SolverQueries = sd.Queries
-		d.SolverCacheHits = sd.CacheHits
 	}
+	qd := rt.engine.Solver.Stats().Sub(solverBefore)
+	d.SolverQueries = qd.Queries
+	d.SolverCacheHits = qd.Hits
 	sd := s.snapshots.Stats().Sub(snapBefore)
 	d.SnapshotHits = sd.Hits
 	d.SnapshotMisses = sd.Misses

@@ -2,11 +2,15 @@ package smt
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lisa/internal/faultinject"
+	"lisa/internal/store"
 )
 
 // SolverStats is a snapshot of the process-wide solver counters.
@@ -35,7 +39,10 @@ var stats struct {
 	solveNS, theoryNS                               atomic.Int64
 }
 
-// Stats returns a snapshot of the process-wide solver counters.
+// Stats returns a snapshot of the process-wide solver counters. These keep
+// counting across every cache instance (the per-instance QueryCacheStats
+// carve the same events up by engine), so existing baselines — notably the
+// committed lisabench counter snapshots — stay comparable.
 func Stats() SolverStats {
 	return SolverStats{
 		Queries:        stats.queries.Load(),
@@ -53,9 +60,10 @@ func Stats() SolverStats {
 // (the lisa serve daemon, per-run scheduler stats) snapshot the
 // process-wide counters at a baseline and attribute later growth to their
 // own traffic. The attribution is exact while the holder is the only
-// solver user in the process (several servers created in sequence each
-// start from a correct baseline) and approximate when other runs share the
-// process concurrently — the counters themselves are process-global.
+// solver user in the process and approximate when other runs share the
+// process concurrently — holders that need exactness under concurrency
+// attach their own QueryCache (Limits.Cache / core.Engine.Solver) and read
+// its per-instance stats instead.
 func (s SolverStats) Sub(base SolverStats) SolverStats {
 	return SolverStats{
 		Queries:        s.Queries - base.Queries,
@@ -69,23 +77,83 @@ func (s SolverStats) Sub(base SolverStats) SolverStats {
 	}
 }
 
-// DefaultQueryCacheCap bounds the process-wide solver result cache. Corpus
+// DefaultQueryCacheCap bounds a solver result cache's memory tier. Corpus
 // runs issue a few thousand distinct queries; the cap is a memory backstop,
 // not a tuning knob.
 const DefaultQueryCacheCap = 4096
 
-// queryCache is a bounded LRU of decided boolean queries keyed by the
+// queryNamespace versions the solver records in the on-disk store; bump it
+// when the record encoding changes so stale stores read as misses.
+const queryNamespace = "smt.v1"
+
+// QueryCache is a bounded LRU of decided boolean queries keyed by the
 // formula's canonical render (TestRenderParseRoundTrip pins down that equal
-// renders imply equivalent formulas, so the render is a sound key). It has
-// singleflight semantics: concurrent misses on one key run a single solve,
-// and followers wait on the leader instead of duplicating work. Modeled on
-// internal/program.Cache.
-type queryCache struct {
+// renders imply equivalent formulas, so the render is a sound key), with an
+// optional on-disk tier behind it (SetStore). It has singleflight
+// semantics: concurrent misses on one key run a single solve, and followers
+// wait on the leader instead of duplicating work. The memory tier is
+// modeled on internal/program.Cache.
+//
+// The process-wide default instance serves every query whose Limits carry
+// no explicit cache; engines that need exact per-run accounting own an
+// instance and pass it via Limits.Cache.
+type QueryCache struct {
 	mu       sync.Mutex
 	cap      int
 	entries  map[string]*list.Element
 	order    *list.List // front = most recently used; values are *cacheEntry
 	inflight map[string]*inflightQuery
+
+	disk atomic.Pointer[store.Store]
+
+	queries, hits, misses, evictions atomic.Uint64
+	solves, nodes                    atomic.Uint64
+	diskHits, diskMisses, diskWrites atomic.Uint64
+}
+
+// QueryCacheStats is a snapshot of one QueryCache instance's counters —
+// exact for the engine that owns the instance, regardless of what the rest
+// of the process is doing.
+type QueryCacheStats struct {
+	Queries    uint64 `json:"queries"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	Solves     uint64 `json:"solves"`
+	Nodes      uint64 `json:"nodes"`
+	DiskHits   uint64 `json:"disk_hits"`
+	DiskMisses uint64 `json:"disk_misses"`
+	DiskWrites uint64 `json:"disk_writes"`
+}
+
+// Sub returns the field-wise delta s − base.
+func (s QueryCacheStats) Sub(base QueryCacheStats) QueryCacheStats {
+	return QueryCacheStats{
+		Queries:    s.Queries - base.Queries,
+		Hits:       s.Hits - base.Hits,
+		Misses:     s.Misses - base.Misses,
+		Evictions:  s.Evictions - base.Evictions,
+		Solves:     s.Solves - base.Solves,
+		Nodes:      s.Nodes - base.Nodes,
+		DiskHits:   s.DiskHits - base.DiskHits,
+		DiskMisses: s.DiskMisses - base.DiskMisses,
+		DiskWrites: s.DiskWrites - base.DiskWrites,
+	}
+}
+
+// Add returns the field-wise sum s + o (aggregating per-engine handles).
+func (s QueryCacheStats) Add(o QueryCacheStats) QueryCacheStats {
+	return QueryCacheStats{
+		Queries:    s.Queries + o.Queries,
+		Hits:       s.Hits + o.Hits,
+		Misses:     s.Misses + o.Misses,
+		Evictions:  s.Evictions + o.Evictions,
+		Solves:     s.Solves + o.Solves,
+		Nodes:      s.Nodes + o.Nodes,
+		DiskHits:   s.DiskHits + o.DiskHits,
+		DiskMisses: s.DiskMisses + o.DiskMisses,
+		DiskWrites: s.DiskWrites + o.DiskWrites,
+	}
 }
 
 // cacheEntry remembers the verdict and how many search nodes deciding it
@@ -104,8 +172,13 @@ type inflightQuery struct {
 	err   error
 }
 
-func newQueryCache(capacity int) *queryCache {
-	return &queryCache{
+// NewQueryCache returns an empty solver result cache; capacity <= 0 means
+// DefaultQueryCacheCap.
+func NewQueryCache(capacity int) *QueryCache {
+	if capacity <= 0 {
+		capacity = DefaultQueryCacheCap
+	}
+	return &QueryCache{
 		cap:      capacity,
 		entries:  map[string]*list.Element{},
 		order:    list.New(),
@@ -113,45 +186,99 @@ func newQueryCache(capacity int) *queryCache {
 	}
 }
 
+// SetStore attaches (nil: detaches) the on-disk tier. Safe to call
+// concurrently with queries.
+func (c *QueryCache) SetStore(st *store.Store) { c.disk.Store(st) }
+
+// CacheName identifies this cache in unified tier stats.
+func (c *QueryCache) CacheName() string { return "solver" }
+
+// TierStats reports the two-tier counters in the unified shape.
+func (c *QueryCache) TierStats() store.TierStats {
+	return store.TierStats{
+		Cache:      c.CacheName(),
+		MemHits:    c.hits.Load(),
+		MemMisses:  c.misses.Load(),
+		DiskHits:   c.diskHits.Load(),
+		DiskMisses: c.diskMisses.Load(),
+		DiskWrites: c.diskWrites.Load(),
+	}
+}
+
+// Stats snapshots this instance's counters.
+func (c *QueryCache) Stats() QueryCacheStats {
+	return QueryCacheStats{
+		Queries:    c.queries.Load(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		Solves:     c.solves.Load(),
+		Nodes:      c.nodes.Load(),
+		DiskHits:   c.diskHits.Load(),
+		DiskMisses: c.diskMisses.Load(),
+		DiskWrites: c.diskWrites.Load(),
+	}
+}
+
+// Reset drops every cached entry from the memory tier (the disk tier is
+// shared and stays). Counters are kept; in-flight solves complete and
+// store into the emptied cache.
+func (c *QueryCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+}
+
 var (
 	cacheEnabled atomic.Bool
-	queryResults = newQueryCache(DefaultQueryCacheCap)
+	queryResults = NewQueryCache(DefaultQueryCacheCap)
 )
 
 func init() { cacheEnabled.Store(true) }
 
-// SetQueryCacheEnabled toggles the process-wide solver result cache
-// (ablation runs and tests) and returns the previous setting.
+var _ store.CacheBackend = (*QueryCache)(nil)
+
+// DefaultQueryCache returns the process-wide cache instance used by
+// queries whose Limits name no explicit cache.
+func DefaultQueryCache() *QueryCache { return queryResults }
+
+// SetQueryCacheEnabled toggles solver result caching process-wide
+// (ablation runs and tests) and returns the previous setting. The toggle
+// governs every instance, not just the default one.
 func SetQueryCacheEnabled(on bool) bool { return cacheEnabled.Swap(on) }
 
-// ResetQueryCache drops every cached query result. Counters are kept;
-// in-flight solves complete and store into the emptied cache.
-func ResetQueryCache() {
-	queryResults.mu.Lock()
-	defer queryResults.mu.Unlock()
-	queryResults.entries = map[string]*list.Element{}
-	queryResults.order.Init()
-}
+// ResetQueryCache drops every cached query result from the default
+// instance's memory tier.
+func ResetQueryCache() { queryResults.Reset() }
 
 // satCached answers a boolean satisfiability query through the result
-// cache. Errors (budget, cancellation) are never cached. While fault
-// injection is armed the cache is bypassed entirely — no reads and no
-// writes — so injected faults fire with the cadence a cold process would
-// see and results computed under injection never poison later runs.
+// cache named by lim (default: the process-wide instance). Errors (budget,
+// cancellation) are never cached. While fault injection is armed both
+// tiers are bypassed entirely — no reads and no writes — so injected
+// faults fire with the cadence a cold process would see and results
+// computed under injection never poison later runs.
 func satCached(f Formula, lim Limits) (bool, error) {
 	stats.queries.Add(1)
+	qc := lim.Cache
+	if qc == nil {
+		qc = queryResults
+	}
+	qc.queries.Add(1)
 	if c, ok := f.(*Const); ok {
 		return c.Value, nil
 	}
 	if !cacheEnabled.Load() || faultinject.Armed() {
-		sat, _, _, err := solveCore(f, lim)
+		sat, _, nodes, err := solveCore(f, lim)
+		qc.solves.Add(1)
+		qc.nodes.Add(uint64(nodes))
 		return sat, err
 	}
 	max := lim.MaxNodes
 	if max <= 0 {
 		max = DefaultMaxNodes
 	}
-	return queryResults.load(f.String(), max, func() (bool, int, error) {
+	return qc.load(f.String(), max, func() (bool, int, error) {
 		sat, _, nodes, err := solveCore(f, lim)
 		return sat, nodes, err
 	})
@@ -161,7 +288,8 @@ func satCached(f Formula, lim Limits) (bool, error) {
 // of an in-flight solve on miss. A cached or in-flight result is only
 // reused when its node count fits maxNodes; otherwise this caller re-solves
 // under its own limits so ErrBudget surfaces exactly as it would uncached.
-func (c *queryCache) load(key string, maxNodes int, solve func() (bool, int, error)) (bool, error) {
+// On a memory miss the leader consults the disk tier before solving.
+func (c *QueryCache) load(key string, maxNodes int, solve func() (bool, int, error)) (bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
@@ -169,6 +297,7 @@ func (c *queryCache) load(key string, maxNodes int, solve func() (bool, int, err
 			c.order.MoveToFront(el)
 			c.mu.Unlock()
 			stats.hits.Add(1)
+			c.hits.Add(1)
 			return e.sat, nil
 		}
 	}
@@ -177,34 +306,63 @@ func (c *queryCache) load(key string, maxNodes int, solve func() (bool, int, err
 		<-fl.done
 		if fl.err == nil && fl.nodes <= maxNodes {
 			stats.hits.Add(1)
+			c.hits.Add(1)
 			return fl.sat, nil
 		}
 		// The leader was degraded (budget, cancellation) or needed more
 		// nodes than we may spend; solve under our own limits.
 		stats.misses.Add(1)
-		sat, nodes, err := solve()
+		c.misses.Add(1)
+		sat, nodes, err := c.runSolve(solve)
 		if err == nil {
-			c.store(key, sat, nodes)
+			c.storeEntry(key, sat, nodes)
 		}
 		return sat, err
 	}
 	fl := &inflightQuery{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.mu.Unlock()
+
+	// Disk tier: a persisted verdict whose node count fits the budget is a
+	// hit — promote it to the memory tier and skip the solve.
+	if sat, nodes, ok := c.diskGet(key); ok && nodes <= maxNodes {
+		fl.sat, fl.nodes = sat, nodes
+		close(fl.done)
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		stats.hits.Add(1)
+		c.hits.Add(1)
+		c.storeEntry(key, sat, nodes)
+		return sat, nil
+	}
+
 	stats.misses.Add(1)
-	fl.sat, fl.nodes, fl.err = solve()
+	c.misses.Add(1)
+	fl.sat, fl.nodes, fl.err = c.runSolve(solve)
 	close(fl.done)
 	c.mu.Lock()
 	delete(c.inflight, key)
 	c.mu.Unlock()
 	if fl.err == nil {
-		c.store(key, fl.sat, fl.nodes)
+		c.storeEntry(key, fl.sat, fl.nodes)
+		c.diskPut(key, fl.sat, fl.nodes)
 	}
 	return fl.sat, fl.err
 }
 
-// store inserts a decided query, evicting from the LRU tail past capacity.
-func (c *queryCache) store(key string, sat bool, nodes int) {
+// runSolve runs one uncached solve on this cache's behalf, charging the
+// per-instance solve counters.
+func (c *QueryCache) runSolve(solve func() (bool, int, error)) (bool, int, error) {
+	sat, nodes, err := solve()
+	c.solves.Add(1)
+	c.nodes.Add(uint64(nodes))
+	return sat, nodes, err
+}
+
+// storeEntry inserts a decided query into the memory tier, evicting from
+// the LRU tail past capacity.
+func (c *QueryCache) storeEntry(key string, sat bool, nodes int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -217,5 +375,48 @@ func (c *queryCache) store(key string, sat bool, nodes int) {
 		c.order.Remove(back)
 		delete(c.entries, back.Value.(*cacheEntry).key)
 		stats.evictions.Add(1)
+		c.evictions.Add(1)
 	}
+}
+
+// diskKey addresses a query in the store: the render is content, so its
+// digest is the address.
+func diskKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// diskGet fetches a persisted verdict; any decode anomaly is a miss.
+func (c *QueryCache) diskGet(key string) (sat bool, nodes int, ok bool) {
+	st := c.disk.Load()
+	if st == nil {
+		return false, 0, false
+	}
+	raw, found := st.Get(queryNamespace, diskKey(key))
+	if !found {
+		c.diskMisses.Add(1)
+		return false, 0, false
+	}
+	var satInt int
+	if _, err := fmt.Sscanf(string(raw), "%d %d", &satInt, &nodes); err != nil || satInt > 1 || satInt < 0 || nodes < 0 {
+		c.diskMisses.Add(1)
+		return false, 0, false
+	}
+	c.diskHits.Add(1)
+	return satInt == 1, nodes, true
+}
+
+// diskPut persists a decided verdict (write-behind; errors are invisible —
+// the disk tier is an optimization, never a source of truth).
+func (c *QueryCache) diskPut(key string, sat bool, nodes int) {
+	st := c.disk.Load()
+	if st == nil {
+		return
+	}
+	satInt := 0
+	if sat {
+		satInt = 1
+	}
+	st.Put(queryNamespace, diskKey(key), []byte(fmt.Sprintf("%d %d", satInt, nodes)))
+	c.diskWrites.Add(1)
 }

@@ -1,0 +1,81 @@
+package smt
+
+import (
+	"errors"
+	"testing"
+
+	"lisa/internal/store"
+)
+
+// TestQueryCacheDiskTier: a second cache instance on the same store serves
+// persisted verdicts without solving, and promotes them to its memory
+// tier.
+func TestQueryCacheDiskTier(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	warm := NewQueryCache(8)
+	warm.SetStore(st)
+	if sat, err := warm.load("p > 0", DefaultMaxNodes, func() (bool, int, error) { return true, 7, nil }); err != nil || !sat {
+		t.Fatalf("warm load = %v, %v", sat, err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewQueryCache(8)
+	cold.SetStore(st)
+	sat, err := cold.load("p > 0", DefaultMaxNodes, func() (bool, int, error) {
+		return false, 0, errors.New("cold instance should not solve")
+	})
+	if err != nil || !sat {
+		t.Fatalf("cold load = %v, %v", sat, err)
+	}
+	cs := cold.Stats()
+	if cs.DiskHits != 1 || cs.Solves != 0 {
+		t.Fatalf("cold stats = %+v, want 1 disk hit and 0 solves", cs)
+	}
+	// Promoted: the next load is a memory hit, no store round trip.
+	if _, err := cold.load("p > 0", DefaultMaxNodes, func() (bool, int, error) {
+		return false, 0, errors.New("should be a memory hit")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cs := cold.Stats(); cs.Hits != 2 || cs.DiskHits != 1 {
+		t.Fatalf("promoted stats = %+v, want 2 hits and still 1 disk hit", cs)
+	}
+}
+
+// TestQueryCacheDiskTierBudgetAware: a persisted verdict whose node count
+// exceeds the caller's budget is not served — the caller re-solves under
+// its own limits, so ErrBudget surfaces exactly as a cold process would.
+func TestQueryCacheDiskTierBudgetAware(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	warm := NewQueryCache(8)
+	warm.SetStore(st)
+	if _, err := warm.load("q", DefaultMaxNodes, func() (bool, int, error) { return true, 50, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewQueryCache(8)
+	cold.SetStore(st)
+	if _, err := cold.load("q", 10, func() (bool, int, error) { return false, 0, ErrBudget }); !errors.Is(err, ErrBudget) {
+		t.Fatalf("small-budget disk read: err = %v, want ErrBudget", err)
+	}
+	if _, err := cold.load("q", 50, func() (bool, int, error) {
+		return false, 0, errors.New("covered budget should hit disk")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,7 +10,7 @@ import (
 // TestQueryCacheLRU: capacity bounds the cache, eviction drops the least
 // recently used key, and hits refresh recency.
 func TestQueryCacheLRU(t *testing.T) {
-	c := newQueryCache(2)
+	c := NewQueryCache(2)
 	solves := 0
 	get := func(key string) {
 		t.Helper()
@@ -43,7 +43,7 @@ func TestQueryCacheLRU(t *testing.T) {
 // TestQueryCacheNeverCachesErrors: a failed solve is not stored; the next
 // caller re-solves.
 func TestQueryCacheNeverCachesErrors(t *testing.T) {
-	c := newQueryCache(4)
+	c := NewQueryCache(4)
 	calls := 0
 	boom := errors.New("boom")
 	if _, err := c.load("k", 100, func() (bool, int, error) {
@@ -71,7 +71,7 @@ func TestQueryCacheNeverCachesErrors(t *testing.T) {
 // decision fit inside the caller's node budget, so ErrBudget surfaces
 // byte-identically warm or cold.
 func TestQueryCacheBudgetAwareHits(t *testing.T) {
-	c := newQueryCache(4)
+	c := NewQueryCache(4)
 	if _, err := c.load("k", 1000, func() (bool, int, error) { return true, 50, nil }); err != nil {
 		t.Fatal(err)
 	}

@@ -51,6 +51,10 @@ type Limits struct {
 	Ctx context.Context
 	// MaxNodes caps search-tree nodes (<= 0 means DefaultMaxNodes).
 	MaxNodes int
+	// Cache routes this query through a caller-owned result cache instead
+	// of the process-wide default, giving the owner exact per-instance
+	// stats (and its own disk tier). Nil means the default cache.
+	Cache *QueryCache
 }
 
 // Solve decides satisfiability of f with default limits, returning a
@@ -66,7 +70,15 @@ func Solve(f Formula) (sat bool, model Model, err error) {
 // boolean result cache.
 func SolveLim(f Formula, lim Limits) (sat bool, model Model, err error) {
 	stats.queries.Add(1)
-	sat, model, _, err = solveCore(f, lim)
+	qc := lim.Cache
+	if qc == nil {
+		qc = queryResults
+	}
+	qc.queries.Add(1)
+	var nodes int
+	sat, model, nodes, err = solveCore(f, lim)
+	qc.solves.Add(1)
+	qc.nodes.Add(uint64(nodes))
 	return sat, model, err
 }
 

@@ -1,0 +1,384 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"lisa/internal/faultinject"
+)
+
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func putFlush(t *testing.T, s *Store, ns, key string, val []byte) {
+	t.Helper()
+	s.Put(ns, key, val)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+func logBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	return b
+}
+
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "a", "k1", []byte("v1"))
+	putFlush(t, s, "a", "k2", []byte("v2"))
+	putFlush(t, s, "b", "k1", []byte("other-ns"))
+
+	if v, ok := s.Get("a", "k1"); !ok || string(v) != "v1" {
+		t.Fatalf("Get a/k1 = %q, %v", v, ok)
+	}
+	if v, ok := s.Get("b", "k1"); !ok || string(v) != "other-ns" {
+		t.Fatalf("Get b/k1 = %q, %v", v, ok)
+	}
+	if _, ok := s.Get("a", "nope"); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	s.Close()
+
+	// A fresh open rebuilds the index from the log.
+	s2 := openT(t, dir)
+	for _, tc := range []struct{ ns, key, want string }{
+		{"a", "k1", "v1"}, {"a", "k2", "v2"}, {"b", "k1", "other-ns"},
+	} {
+		if v, ok := s2.Get(tc.ns, tc.key); !ok || string(v) != tc.want {
+			t.Fatalf("after reopen Get %s/%s = %q, %v (want %q)", tc.ns, tc.key, v, ok, tc.want)
+		}
+	}
+	if st := s2.Stats(); st.Records != 3 {
+		t.Fatalf("records = %d, want 3", st.Records)
+	}
+}
+
+func TestLastWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "a", "k", []byte("first"))
+	putFlush(t, s, "a", "k", []byte("second"))
+	if v, ok := s.Get("a", "k"); !ok || string(v) != "second" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	s.Close()
+	s2 := openT(t, dir)
+	if v, ok := s2.Get("a", "k"); !ok || string(v) != "second" {
+		t.Fatalf("after reopen Get = %q, %v", v, ok)
+	}
+}
+
+func TestIdenticalPutNotRewritten(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "a", "k", []byte("same"))
+	before := logBytes(t, dir)
+	putFlush(t, s, "a", "k", []byte("same"))
+	after := logBytes(t, dir)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("identical re-put grew the log: %d -> %d bytes", len(before), len(after))
+	}
+}
+
+// TestTornTailRecovery truncates the log mid-record (a crashed writer's
+// torn tail) and checks that reopening recovers: the torn record is
+// dropped, every earlier record survives, and new writes land cleanly.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "a", "keep1", []byte("alpha"))
+	putFlush(t, s, "a", "keep2", []byte("beta"))
+	putFlush(t, s, "a", "torn", []byte("this record will be cut in half"))
+	s.Close()
+
+	path := filepath.Join(dir, logName)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir)
+	if st := s2.Stats(); st.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", st.Recoveries)
+	}
+	if v, ok := s2.Get("a", "keep1"); !ok || string(v) != "alpha" {
+		t.Fatalf("keep1 = %q, %v", v, ok)
+	}
+	if v, ok := s2.Get("a", "keep2"); !ok || string(v) != "beta" {
+		t.Fatalf("keep2 = %q, %v", v, ok)
+	}
+	if _, ok := s2.Get("a", "torn"); ok {
+		t.Fatal("torn record survived recovery")
+	}
+	// The tail is clean again: appends work and survive another reopen.
+	putFlush(t, s2, "a", "torn", []byte("recomputed"))
+	s2.Close()
+	s3 := openT(t, dir)
+	if v, ok := s3.Get("a", "torn"); !ok || string(v) != "recomputed" {
+		t.Fatalf("recomputed torn = %q, %v", v, ok)
+	}
+}
+
+// TestTornTailGarbage dumps raw garbage on the tail instead of a clean
+// truncation; recovery must still find the frame boundary.
+func TestTornTailGarbage(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "a", "keep", []byte("alpha"))
+	s.Close()
+
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("\x00\x01garbage that is no frame"))
+	f.Close()
+
+	s2 := openT(t, dir)
+	if st := s2.Stats(); st.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", st.Recoveries)
+	}
+	if v, ok := s2.Get("a", "keep"); !ok || string(v) != "alpha" {
+		t.Fatalf("keep = %q, %v", v, ok)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.compactMin = 64 // lower the dead-byte floor so a small test compacts
+	val := make([]byte, 128)
+	for i := 0; i < 32; i++ {
+		for j := range val {
+			val[j] = byte(i + j)
+		}
+		putFlush(t, s, "a", "churn", val)
+		putFlush(t, s, "a", fmt.Sprintf("live%d", i%4), val)
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction ran: %+v", st)
+	}
+	if st.DeadBytes > st.LiveBytes {
+		t.Fatalf("dead %d > live %d after compaction", st.DeadBytes, st.LiveBytes)
+	}
+	// Everything live is still readable, here and after a reopen.
+	if v, ok := s.Get("a", "churn"); !ok || !bytes.Equal(v, val) {
+		t.Fatalf("churn after compaction = %v, %v", v, ok)
+	}
+	s.Close()
+	s2 := openT(t, dir)
+	if v, ok := s2.Get("a", "churn"); !ok || !bytes.Equal(v, val) {
+		t.Fatalf("churn after reopen = %v, %v", v, ok)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := s2.Get("a", fmt.Sprintf("live%d", i)); !ok {
+			t.Fatalf("live%d missing after compaction+reopen", i)
+		}
+	}
+}
+
+// TestCorruptionDetected flips a byte in a stored value on disk; the CRC
+// must catch it and Get must answer miss, not wrong data.
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "a", "k", []byte("pristine"))
+	path := filepath.Join(dir, logName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff // last byte of the only value
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("a", "k"); ok {
+		t.Fatalf("corrupted Get returned data: %q", v)
+	}
+	if st := s.Stats(); st.Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+// TestFaultinjectRead arms the store.read Corrupt point: reads must fail
+// the CRC check and fall back to miss while armed, and recover after.
+func TestFaultinjectRead(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "a", "k", []byte("pristine"))
+
+	faultinject.Arm(faultinject.NewPlan(1).Set(FaultPointRead, faultinject.Corrupt))
+	defer faultinject.Disarm()
+	if v, ok := s.Get("a", "k"); ok {
+		t.Fatalf("injected-corrupt Get returned data: %q", v)
+	}
+	if st := s.Stats(); st.Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", st.Corruptions)
+	}
+	faultinject.Disarm()
+	if v, ok := s.Get("a", "k"); !ok || string(v) != "pristine" {
+		t.Fatalf("post-disarm Get = %q, %v", v, ok)
+	}
+}
+
+// TestArmedPutSkipped: writes issued while a faultinject plan is armed
+// never reach the disk tier — the log stays byte-identical.
+func TestArmedPutSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "a", "k", []byte("clean"))
+	before := logBytes(t, dir)
+
+	faultinject.Arm(faultinject.NewPlan(1).Set("something.else", faultinject.Panic))
+	s.Put("a", "k2", []byte("poisoned"))
+	s.Put("a", "k", []byte("poisoned overwrite"))
+	faultinject.Disarm()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if after := logBytes(t, dir); !bytes.Equal(before, after) {
+		t.Fatalf("armed puts reached the store: %d -> %d bytes", len(before), len(after))
+	}
+	if st := s.Stats(); st.ArmedSkips != 2 {
+		t.Fatalf("armed skips = %d, want 2", st.ArmedSkips)
+	}
+	if v, ok := s.Get("a", "k"); !ok || string(v) != "clean" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+// TestTwoStoresOneProcess exercises cross-handle sharing through the
+// locked tail rescan: two Store handles on one directory observe each
+// other's writes without reopening.
+func TestTwoStoresOneProcess(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openT(t, dir)
+	s2 := openT(t, dir)
+	putFlush(t, s1, "a", "from1", []byte("one"))
+	if v, ok := s2.Get("a", "from1"); !ok || string(v) != "one" {
+		t.Fatalf("s2 missed s1's write: %q, %v", v, ok)
+	}
+	putFlush(t, s2, "a", "from2", []byte("two"))
+	if v, ok := s1.Get("a", "from2"); !ok || string(v) != "two" {
+		t.Fatalf("s1 missed s2's write: %q, %v", v, ok)
+	}
+}
+
+// TestStoreHelperProcess is not a test: it is the second process of
+// TestTwoProcessSharing, run via exec of the test binary.
+func TestStoreHelperProcess(t *testing.T) {
+	if os.Getenv("LISA_STORE_HELPER") != "1" {
+		t.Skip("helper process for TestTwoProcessSharing")
+	}
+	dir := os.Getenv("LISA_STORE_DIR")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("helper Open: %v", err)
+	}
+	defer s.Close()
+	v, ok := s.Get("t", "parent")
+	if !ok {
+		t.Fatal("helper could not read parent's record")
+	}
+	s.Put("t", "child", append(v, []byte(" seen by child")...))
+	if err := s.Flush(); err != nil {
+		t.Fatalf("helper Flush: %v", err)
+	}
+}
+
+// TestTwoProcessSharing spawns a second OS process on the same store
+// directory: the child must see the parent's record through the log, and
+// the parent must pick up the child's append through the tail rescan —
+// the advisory flock is what keeps the interleaving safe.
+func TestTwoProcessSharing(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "t", "parent", []byte("hello"))
+
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestStoreHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), "LISA_STORE_HELPER=1", "LISA_STORE_DIR="+dir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("helper process failed: %v\n%s", err, out)
+	}
+	if v, ok := s.Get("t", "child"); !ok || string(v) != "hello seen by child" {
+		t.Fatalf("parent missed child's write: %q, %v", v, ok)
+	}
+}
+
+// TestStoreHammer drives one store from 8 goroutines with mixed
+// put/get/flush traffic; run under -race by verify.sh. Every key must
+// hold one of the values some goroutine wrote for it, and a reopen must
+// agree.
+func TestStoreHammer(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.compactMin = 256 // let the hammer cross the compaction path too
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				key := fmt.Sprintf("k%d", r%10)
+				s.Put("h", key, []byte(fmt.Sprintf("g%d-r%d", g, r)))
+				if v, ok := s.Get("h", key); ok && len(v) == 0 {
+					t.Errorf("empty value for %s", key)
+				}
+				if r%17 == 0 {
+					s.Flush()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(st *Store, label string) {
+		for i := 0; i < 10; i++ {
+			key := fmt.Sprintf("k%d", i)
+			v, ok := st.Get("h", key)
+			if !ok {
+				t.Fatalf("%s: %s missing", label, key)
+			}
+			var g, r int
+			if _, err := fmt.Sscanf(string(v), "g%d-r%d", &g, &r); err != nil {
+				t.Fatalf("%s: %s holds garbage %q", label, key, v)
+			}
+		}
+	}
+	check(s, "live")
+	s.Close()
+	s2 := openT(t, dir)
+	check(s2, "reopened")
+	if st := s2.Stats(); st.Corruptions != 0 {
+		t.Fatalf("hammer caused corruption reports: %+v", st)
+	}
+}

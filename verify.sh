@@ -1,16 +1,23 @@
 #!/bin/sh
 # Full verify: tier-1 (build + all tests), vet, the race-detector suites
 # for the packages with concurrency (scheduler worker pool, snapshot
-# cache, solver result cache, prefix-pruning walker, fault injector, and
-# the serve daemon with its request hammer), the daemon smoke test by
-# name (start a real listener, one gate round trip, clean drain), the
-# perf-regression gate against the committed counter baseline, and a
-# smoke run of the fault-injection matrix. ROADMAP.md points here.
+# cache, solver result cache, prefix-pruning walker, fault injector, the
+# on-disk store with its goroutine hammer, and the serve daemon with its
+# request hammer), the daemon smoke test by name (start a real listener,
+# one gate round trip, clean drain), the cold-process-on-warm-store
+# smoke (two CLI invocations sharing a store directory: the second must
+# serve its jobs from the disk tier), the perf-regression gate against
+# the committed counter baseline, and a smoke run of the fault-injection
+# matrix. ROADMAP.md points here.
 set -ex
 go build ./...
 go test ./...
 go vet ./...
-go test -race ./internal/sched/... ./internal/program/... ./internal/faultinject/... ./internal/smt/... ./internal/concolic/... ./internal/server/...
+go test -race ./internal/sched/... ./internal/program/... ./internal/faultinject/... ./internal/smt/... ./internal/concolic/... ./internal/server/... ./internal/store/...
 go test -run TestServerSmoke -count=1 ./internal/server
-go run ./cmd/lisabench -diff BENCH_5.json
+STORE_SMOKE=$(mktemp -d)
+go run ./cmd/lisa assert -case zk-ephemeral -tests -store "$STORE_SMOKE" > /dev/null
+go run ./cmd/lisa assert -case zk-ephemeral -tests -store "$STORE_SMOKE" | grep "served from the disk tier"
+rm -rf "$STORE_SMOKE"
+go run ./cmd/lisabench -diff BENCH_7.json
 go run ./cmd/lisabench -exp chaos -seed 1
