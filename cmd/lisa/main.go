@@ -52,7 +52,20 @@
 //	lisa gate -remote URL ... / lisa assert -remote URL ...
 //	    Run gate or assert through a daemon at URL instead of in-process.
 //	    A cold client against a warm server skips the whole front end; the
-//	    report and exit code are identical to the local run.
+//	    report and exit code are identical to the local run. Transient
+//	    daemon failures (connection refused, timeout, 503-drain, overload
+//	    shed) are retried -remote-retries times (default 3) under seeded
+//	    jittered exponential backoff honoring the server's Retry-After;
+//	    -remote-timeout bounds all attempts together (default 0 = none).
+//	    If the daemon stays unreachable, keeps timing out, or is draining
+//	    past the retry budget, the client fails over to in-process
+//	    execution (disable with -remote-failover=false) — the printed
+//	    report is byte-identical to a pure-local run, and a shared -store
+//	    still applies. With failover off, the exit code names the failure:
+//	    4 connection failed, 5 timed out, 6 server draining, 7 server
+//	    overloaded (overload never fails over — the daemon is alive).
+//	    -remote-token sets the client identity the daemon's per-token
+//	    admission quotas key on.
 //
 //	lisa assert|gate|serve ... -store DIR
 //	    Back the hot caches (program snapshots, solver verdicts, job
@@ -64,11 +77,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"lisa/internal/ci"
 	"lisa/internal/concolic"
@@ -143,8 +158,68 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lisa:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps a top-level failure to the process exit status. Remote
+// transport failures carry distinct codes so scripts can branch on what
+// actually went wrong instead of parsing error text: 4 connection failed,
+// 5 timed out, 6 server draining, 7 server overloaded. Everything else —
+// including remote HTTP-level rejections, where the request itself is
+// wrong — stays the historical 1. (Blocked changes and violations exit 1
+// before reaching here.)
+func exitCode(err error) int {
+	var re *server.RemoteError
+	if errors.As(err, &re) {
+		switch re.Kind {
+		case server.RemoteConnect:
+			return 4
+		case server.RemoteTimeout:
+			return 5
+		case server.RemoteDrain:
+			return 6
+		case server.RemoteOverload:
+			return 7
+		}
+	}
+	return 1
+}
+
+// remotePolicy derives the -remote resilience posture from the flags:
+// -remote-retries attempts beyond the first, the default backoff curve,
+// an overall deadline from -remote-timeout, and — when the run carries a
+// -run-timeout budget — a per-attempt deadline of that budget plus a
+// second of transport slack (one attempt is one server-side run, which
+// the daemon bounds with the same budget).
+func remotePolicy(retries int, overall, runTimeout time.Duration) server.RetryPolicy {
+	p := server.DefaultRetryPolicy()
+	p.Retries = retries
+	if runTimeout > 0 {
+		p.AttemptTimeout = runTimeout + time.Second
+	}
+	p.OverallTimeout = overall
+	return p
+}
+
+// failoverable reports whether a remote failure should fall back to
+// in-process execution: failover is enabled and the daemon was
+// unreachable, timed out, or draining. Overload does not fail over — the
+// daemon is alive and asked us to back off — and HTTP-level failures mean
+// the request itself is wrong, which local execution would only reproduce.
+func failoverable(err error, enabled bool) bool {
+	if err == nil || !enabled {
+		return false
+	}
+	var re *server.RemoteError
+	if !errors.As(err, &re) {
+		return false
+	}
+	switch re.Kind {
+	case server.RemoteConnect, server.RemoteTimeout, server.RemoteDrain:
+		return true
+	}
+	return false
 }
 
 func usage() {
@@ -314,6 +389,10 @@ func runAssert(args []string) error {
 	workers := fs.Int("workers", 1, "scheduler pool width; 1 = sequential engine, 0 = GOMAXPROCS")
 	storeDir := fs.String("store", "", "back the snapshot, solver, and fingerprint caches with an on-disk store at this directory (created if missing)")
 	remote := fs.String("remote", "", "assert through a running lisa serve daemon at this base URL instead of in-process")
+	remoteRetries := fs.Int("remote-retries", server.DefaultRemoteRetries, "with -remote: retries after a transient daemon failure (connection refused, timeout, drain, overload)")
+	remoteTimeout := fs.Duration("remote-timeout", 0, "with -remote: overall deadline across all attempts and backoff sleeps (0 = none)")
+	remoteFailover := fs.Bool("remote-failover", true, "with -remote: fall back to in-process execution when the daemon stays unreachable, times out, or drains past the retry budget")
+	remoteToken := fs.String("remote-token", "", "with -remote: client identity for the daemon's per-token admission quotas")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -338,7 +417,14 @@ func runAssert(args []string) error {
 				req.Workers = *workers
 			}
 		})
-		return remoteAssert(*remote, req)
+		err := remoteAssert(*remote, req, remotePolicy(*remoteRetries, *remoteTimeout, 0), *remoteToken)
+		if !failoverable(err, *remoteFailover) {
+			return err
+		}
+		// Fall through to the local path below — the same code a store-less
+		// (or -store-backed) local invocation runs, so the printed report is
+		// byte-identical to one.
+		fmt.Fprintf(os.Stderr, "lisa: %v; failing over to local execution\n", err)
 	}
 	cs := corpus.Load().Get(id)
 	if cs == nil {
@@ -475,6 +561,10 @@ func runGate(args []string) error {
 	stepBudget := fs.Int("step-budget", 0, "interpreter statement ceiling per test replay (0 = default)")
 	storeDir := fs.String("store", "", "back the snapshot, solver, and fingerprint caches with an on-disk store at this directory (created if missing)")
 	remote := fs.String("remote", "", "gate through a running lisa serve daemon at this base URL (e.g. http://127.0.0.1:7333) instead of in-process")
+	remoteRetries := fs.Int("remote-retries", server.DefaultRemoteRetries, "with -remote: retries after a transient daemon failure (connection refused, timeout, drain, overload)")
+	remoteTimeout := fs.Duration("remote-timeout", 0, "with -remote: overall deadline across all attempts and backoff sleeps (0 = none)")
+	remoteFailover := fs.Bool("remote-failover", true, "with -remote: fall back to in-process execution when the daemon stays unreachable, times out, or drains past the retry budget")
+	remoteToken := fs.String("remote-token", "", "with -remote: client identity for the daemon's per-token admission quotas")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -509,7 +599,14 @@ func runGate(args []string) error {
 				}
 			}
 		})
-		return remoteGate(*remote, req)
+		err := remoteGate(*remote, req, remotePolicy(*remoteRetries, *remoteTimeout, *runTimeout), *remoteToken)
+		if !failoverable(err, *remoteFailover) {
+			return err
+		}
+		// Fall through to the local gate below — the same code a pure-local
+		// invocation runs, so the printed gate log is byte-identical to one,
+		// and a shared -store still applies.
+		fmt.Fprintf(os.Stderr, "lisa: %v; failing over to local execution\n", err)
 	}
 	cs := corpus.Load().Get(*caseID)
 	if cs == nil {

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"lisa/internal/core"
@@ -44,10 +46,26 @@ func runServe(args []string) error {
 	solverNodes := fs.Int("solver-nodes", 0, "default DPLL node ceiling per SMT query (0 = package default)")
 	stepBudget := fs.Int("step-budget", 0, "default interpreter statement ceiling per test replay (0 = package default)")
 	storeDir := fs.String("store", "", "back the daemon's caches with an on-disk store at this directory, so a restarted daemon starts warm (created if missing)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "admission control: bound on concurrently executing gate/assert/watch requests (0 = unbounded, admission off)")
+	maxQueue := fs.Int("max-queue", 0, "admission control: how many gate/assert requests may wait for a slot before 503 load shedding (0 = default)")
 	var watchRoots stringList
 	fs.Var(&watchRoots, "watch", "directory root to watch for MiniJ source changes (repeatable)")
+	var quotaSpecs stringList
+	fs.Var(&quotaSpecs, "quota", "per-client admission quota as TOKEN=N: at most N in-flight requests for clients sending X-Lisa-Token: TOKEN (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var quotas map[string]server.QuotaClass
+	for _, spec := range quotaSpecs {
+		tok, limit, ok := strings.Cut(spec, "=")
+		n, err := strconv.Atoi(limit)
+		if !ok || tok == "" || err != nil || n < 1 {
+			return fmt.Errorf("bad -quota %q (want TOKEN=N with N >= 1)", spec)
+		}
+		if quotas == nil {
+			quotas = map[string]server.QuotaClass{}
+		}
+		quotas[tok] = server.QuotaClass{MaxConcurrent: n}
 	}
 
 	var st *store.Store
@@ -70,6 +88,9 @@ func runServe(args []string) error {
 		HistorySize:   *historySize,
 		WatchInterval: *watchInterval,
 		FailOpen:      *failOpen,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		Quotas:        quotas,
 		Budget: core.Budget{
 			RunTimeout:  *runTimeout,
 			JobTimeout:  *jobTimeout,
@@ -129,11 +150,23 @@ func runServe(args []string) error {
 	return nil
 }
 
+// remoteClient builds the daemon client with the CLI's resilience posture:
+// the retry/backoff/deadline policy from the -remote-* flags and the
+// optional admission-quota token.
+func remoteClient(base string, pol server.RetryPolicy, token string) *server.Client {
+	cl := server.NewClient(base)
+	cl.SetRetryPolicy(pol)
+	if token != "" {
+		cl.SetToken(token)
+	}
+	return cl
+}
+
 // remoteGate runs the gate via a running daemon instead of in-process: the
 // change file is shipped over the wire and the server's warm caches do the
 // work. The printed gate log and exit code match the local path.
-func remoteGate(base string, req server.GateRequest) error {
-	cl := server.NewClient(base)
+func remoteGate(base string, req server.GateRequest, pol server.RetryPolicy, token string) error {
+	cl := remoteClient(base, pol, token)
 	resp, err := cl.Gate(req)
 	if err != nil {
 		return err
@@ -148,8 +181,8 @@ func remoteGate(base string, req server.GateRequest) error {
 // remoteAssert asserts via a running daemon. The canonical report render
 // (byte-identical to a local sequential run) is printed after the verdict
 // counts.
-func remoteAssert(base string, req server.AssertRequest) error {
-	cl := server.NewClient(base)
+func remoteAssert(base string, req server.AssertRequest, pol server.RetryPolicy, token string) error {
+	cl := remoteClient(base, pol, token)
 	resp, err := cl.Assert(req)
 	if err != nil {
 		return err

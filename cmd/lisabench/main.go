@@ -66,6 +66,14 @@ func main() {
 		smt.DefaultQueryCache().SetStore(st)
 		defer func() {
 			st.Flush()
+			// The store's own ledger, write failures included: a bench run
+			// whose persistence silently failed is not a baseline.
+			s := st.Stats()
+			fmt.Printf("store: %d records, %d puts, %d appends, %d write errors\n",
+				s.Records, s.Puts, s.Writes, s.WriteErrors)
+			if s.WriteErrors > 0 {
+				fmt.Printf("store: last write error: %s\n", s.LastWriteError)
+			}
 			st.Close()
 		}()
 	}

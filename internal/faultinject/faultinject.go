@@ -8,6 +8,11 @@
 // time", so an injected fault hits the same logical work items regardless
 // of worker count or scheduling order — the property the chaos experiment
 // leans on to demand byte-identical reports at workers=1 and workers=8.
+// The one sanctioned exception is SetAfter, which arms a rule only from
+// the point's Nth visit on (and is sticky past it); it exists for the
+// crash-recovery campaign, where "die on the Nth append" is what varies
+// the torn state across rounds, and is deterministic exactly when the
+// point is visited from a single goroutine (true for the store's writer).
 //
 // The injector is process-global but off by default; hot paths guard their
 // hook with Armed() so an unarmed run pays one atomic load. Production
@@ -18,6 +23,7 @@ package faultinject
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -40,6 +46,12 @@ const (
 	// Corrupt mutates the value the point is about to hand out (e.g. a
 	// snapshot cache entry), so integrity checks downstream must catch it.
 	Corrupt
+	// Crash kills the whole process at the point, mid-operation, the way a
+	// power cut or OOM kill would (crash-recovery check). Hook points that
+	// honor it first leave behind whatever partial state a real crash at
+	// that spot leaves (a half-written frame, an unsynced file), then call
+	// CrashNow. Only ever armed in a spawned helper process.
+	Crash
 )
 
 // String names the kind.
@@ -53,8 +65,17 @@ func (k Kind) String() string {
 		return "slow"
 	case Corrupt:
 		return "corrupt"
+	case Crash:
+		return "crash"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// rule is one point→failure binding: the kind to inject, armed from the
+// point's (skip+1)th visit on (skip 0 = every visit, the sticky default).
+type rule struct {
+	kind Kind
+	skip int
 }
 
 // Plan is one seeded injection plan: a set of sticky point→kind rules plus
@@ -65,40 +86,63 @@ type Plan struct {
 	// matching, which is fully deterministic.
 	Seed int64
 
-	mu    sync.Mutex
-	rules map[string]Kind
-	hits  map[string]int
+	mu         sync.Mutex
+	rules      map[string]rule
+	hits       map[string]int
+	visits     map[string]int
+	storeScope bool
 }
 
 // NewPlan returns an empty plan with the given seed.
 func NewPlan(seed int64) *Plan {
-	return &Plan{Seed: seed, rules: map[string]Kind{}, hits: map[string]int{}}
+	return &Plan{Seed: seed, rules: map[string]rule{}, hits: map[string]int{}, visits: map[string]int{}}
 }
 
 // Set adds a sticky rule and returns the plan for chaining.
-func (p *Plan) Set(point string, k Kind) *Plan {
+func (p *Plan) Set(point string, k Kind) *Plan { return p.SetAfter(point, k, 0) }
+
+// SetAfter adds a rule that stays dormant for the point's first skip
+// visits and fires sticky from visit skip+1 on. The crash-recovery
+// campaign uses it to vary where in the write stream the process dies;
+// determinism requires the point to be visited from one goroutine.
+func (p *Plan) SetAfter(point string, k Kind, skip int) *Plan {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.rules[point] = k
+	p.rules[point] = rule{kind: k, skip: skip}
+	return p
+}
+
+// ScopeStore marks the plan as targeting the storage layer itself rather
+// than the computation above it. The compute-side "never trust results
+// produced under injection" guards — store.Put dropping writes, the
+// solver cache bypass — stand down for a store-scoped plan: the values
+// being persisted are computed cleanly, and the injected faults live in
+// the store under test, whose own CRC/recovery machinery is what the run
+// is exercising. Only arm a store-scoped plan whose rules all target
+// store.* points.
+func (p *Plan) ScopeStore() *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.storeScope = true
 	return p
 }
 
 // match resolves point against the rules: exact first, then the longest
 // matching '*' wildcard.
-func (p *Plan) match(point string) (Kind, bool) {
-	if k, ok := p.rules[point]; ok {
-		return k, true
+func (p *Plan) match(point string) (rule, bool) {
+	if r, ok := p.rules[point]; ok {
+		return r, true
 	}
 	bestLen := -1
-	var best Kind
-	for pat, k := range p.rules {
+	var best rule
+	for pat, r := range p.rules {
 		if !strings.HasSuffix(pat, "*") {
 			continue
 		}
 		prefix := pat[:len(pat)-1]
 		if strings.HasPrefix(point, prefix) && len(prefix) > bestLen {
 			bestLen = len(prefix)
-			best = k
+			best = r
 		}
 	}
 	return best, bestLen >= 0
@@ -157,9 +201,23 @@ func Disarm() { active.Store(nil) }
 // load.
 func Armed() bool { return active.Load() != nil }
 
-// At consults the active plan for point. When a rule matches, the hit is
-// recorded and the rule's kind returned with ok=true. With no armed plan
-// or no matching rule, ok is false and the caller proceeds normally.
+// StoreScoped reports whether the active plan is scoped to the storage
+// layer (Plan.ScopeStore). Compute-side guards that suppress caching or
+// persistence while armed treat a store-scoped plan as unarmed.
+func StoreScoped() bool {
+	p := active.Load()
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.storeScope
+}
+
+// At consults the active plan for point. When a rule matches and its
+// skip-count has elapsed, the hit is recorded and the rule's kind returned
+// with ok=true. With no armed plan, no matching rule, or a rule still
+// dormant (SetAfter), ok is false and the caller proceeds normally.
 func At(point string) (Kind, bool) {
 	p := active.Load()
 	if p == nil {
@@ -167,11 +225,48 @@ func At(point string) (Kind, bool) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	k, ok := p.match(point)
-	if ok {
-		p.hits[point]++
+	r, ok := p.match(point)
+	if !ok {
+		return 0, false
 	}
-	return k, ok
+	p.visits[point]++
+	if p.visits[point] <= r.skip {
+		return 0, false
+	}
+	p.hits[point]++
+	return r.kind, true
+}
+
+// CrashExitCode is the exit status crashNow kills the process with — far
+// from the codes tests and the CLI use, so a spawning parent can tell an
+// injected crash from an ordinary failure.
+const CrashExitCode = 86
+
+// crashFn is what a firing Crash rule ultimately calls; tests may swap it
+// via SetCrashFn to observe the crash instead of dying.
+var crashFn atomic.Pointer[func(point string)]
+
+// SetCrashFn replaces the process-kill behavior of Crash rules (tests
+// only). Passing nil restores the default hard exit.
+func SetCrashFn(f func(point string)) {
+	if f == nil {
+		crashFn.Store(nil)
+		return
+	}
+	crashFn.Store(&f)
+}
+
+// CrashNow terminates the process the way a firing Crash rule demands.
+// Hook points call it after laying down the partial state a real crash at
+// their spot would leave. The default is a hard os.Exit — no deferred
+// functions, no flushes — which is the point.
+func CrashNow(point string) {
+	if f := crashFn.Load(); f != nil {
+		(*f)(point)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "faultinject: crash at %s\n", point)
+	os.Exit(CrashExitCode)
 }
 
 // Pick deterministically selects one of candidates from the seed and a

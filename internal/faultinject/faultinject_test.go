@@ -90,3 +90,59 @@ func TestPickDeterministic(t *testing.T) {
 		t.Fatal("nil candidates should pick empty")
 	}
 }
+
+// TestSetAfterDormantThenSticky: a SetAfter rule sleeps through its first
+// skip visits, then fires on every later one.
+func TestSetAfterDormantThenSticky(t *testing.T) {
+	p := NewPlan(1).SetAfter("pt:n", Budget, 3)
+	Arm(p)
+	defer Disarm()
+	for i := 0; i < 3; i++ {
+		if _, ok := At("pt:n"); ok {
+			t.Fatalf("rule fired on dormant visit %d", i+1)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if k, ok := At("pt:n"); !ok || k != Budget {
+			t.Fatalf("rule dormant past its skip count (visit %d)", 4+i)
+		}
+	}
+	if p.Hits()["pt:n"] != 2 {
+		t.Fatalf("hits = %v, want pt:n×2", p.Hits())
+	}
+}
+
+// TestStoreScoped: only a plan explicitly marked ScopeStore reports as
+// store-scoped; unarmed processes never do.
+func TestStoreScoped(t *testing.T) {
+	if StoreScoped() {
+		t.Fatal("unarmed process claims a store-scoped plan")
+	}
+	Arm(NewPlan(1).Set("store.write", Crash))
+	if StoreScoped() {
+		t.Fatal("unscoped plan reported store-scoped")
+	}
+	Arm(NewPlan(1).ScopeStore().Set("store.write", Crash))
+	defer Disarm()
+	if !StoreScoped() {
+		t.Fatal("ScopeStore plan not reported")
+	}
+}
+
+// TestCrashHook: a Crash rule fires like any other kind, and CrashNow
+// routes through the swappable hook instead of killing the test binary.
+func TestCrashHook(t *testing.T) {
+	Arm(NewPlan(1).Set("pt:crash", Crash))
+	defer Disarm()
+	k, ok := At("pt:crash")
+	if !ok || k != Crash {
+		t.Fatalf("At = %v, %v, want Crash", k, ok)
+	}
+	var crashed string
+	SetCrashFn(func(point string) { crashed = point })
+	defer SetCrashFn(nil)
+	CrashNow("pt:crash")
+	if crashed != "pt:crash" {
+		t.Fatalf("crash hook saw %q", crashed)
+	}
+}

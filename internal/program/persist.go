@@ -43,7 +43,7 @@ func (c *Cache) TierStats() store.TierStats {
 	c.mu.Lock()
 	hits, misses := c.hits, c.misses
 	c.mu.Unlock()
-	return store.TierStats{
+	ts := store.TierStats{
 		Cache:      c.CacheName(),
 		MemHits:    hits,
 		MemMisses:  misses,
@@ -51,6 +51,10 @@ func (c *Cache) TierStats() store.TierStats {
 		DiskMisses: c.diskMisses.Load(),
 		DiskWrites: c.diskWrites.Load(),
 	}
+	if st := c.disk.Load(); st != nil {
+		ts.DiskWriteErrors = st.NamespaceWriteErrors(snapNamespace)
+	}
+	return ts
 }
 
 var _ store.CacheBackend = (*Cache)(nil)
@@ -122,7 +126,9 @@ func (s *Snapshot) restore(rec *snapRecord) bool {
 // compile. A snapshot that fails its own Verify (the program.load
 // fault-injection point corrupts the AST after the canon is captured) is
 // never persisted, and store.Put additionally drops all writes while a
-// faultinject plan is armed.
+// faultinject plan is armed — unless the plan is store-scoped
+// (faultinject.ScopeStore), in which case the computation is clean and the
+// store's own fault handling is what's under test.
 func (s *Snapshot) persist() {
 	if s.cache == nil || s.err != nil || s.restored {
 		return

@@ -31,7 +31,7 @@ func (c *Cache) TierStats() store.TierStats {
 	c.mu.Lock()
 	hits, misses := c.hits, c.misses
 	c.mu.Unlock()
-	return store.TierStats{
+	ts := store.TierStats{
 		Cache:      c.CacheName(),
 		MemHits:    uint64(hits),
 		MemMisses:  uint64(misses),
@@ -39,6 +39,10 @@ func (c *Cache) TierStats() store.TierStats {
 		DiskMisses: c.diskMisses.Load(),
 		DiskWrites: c.diskWrites.Load(),
 	}
+	if st := c.disk.Load(); st != nil {
+		ts.DiskWriteErrors = st.NamespaceWriteErrors(siteNamespace, structuralNamespace, dynamicNamespace)
+	}
+	return ts
 }
 
 var _ store.CacheBackend = (*Cache)(nil)

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Admission control: the daemon bounds how much interactive work runs at
+// once (Config.MaxConcurrent) and how much may wait for a slot
+// (Config.MaxQueue); past that it load-sheds instead of queueing without
+// bound. Per-client fairness rides on the X-Lisa-Token request header:
+// each token's in-flight count is capped by its QuotaClass, so one noisy
+// CI runner exhausts its own quota (429 + Retry-After), not the daemon.
+// /watch registration never queues — prewarm warmth is the first thing a
+// saturated server sheds, interactive /gate and /assert traffic the last.
+// Admission never reorders admitted work, so the byte-identity contract
+// (package comment) is untouched: shedding changes who runs, never what an
+// admitted run renders.
+
+const (
+	// DefaultMaxQueue bounds requests waiting for an admission slot when
+	// Config.MaxQueue is zero but admission is enabled.
+	DefaultMaxQueue = 16
+	// retryAfterBaseSeconds seeds the Retry-After hint on overload
+	// rejections; the hint grows with the queue depth.
+	retryAfterBaseSeconds = 1
+)
+
+// QuotaClass is the per-client admission budget keyed by the X-Lisa-Token
+// header. The zero value means unlimited.
+type QuotaClass struct {
+	// MaxConcurrent bounds this client's in-flight requests (0 = no cap).
+	MaxConcurrent int `json:"max_concurrent"`
+}
+
+// AdmissionStats is the overload ledger exposed by /stats.
+type AdmissionStats struct {
+	// Enabled reports whether admission control is on (MaxConcurrent > 0).
+	Enabled bool `json:"enabled"`
+	// Admitted counts requests that got a slot (with or without waiting).
+	Admitted uint64 `json:"admitted"`
+	// Waited counts admitted requests that had to queue first.
+	Waited uint64 `json:"waited"`
+	// RejectedQuota counts 429s: the client's own class was exhausted.
+	RejectedQuota uint64 `json:"rejected_quota"`
+	// RejectedQueueFull counts 503s: server and queue both saturated.
+	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+	// RejectedDraining counts queued requests evicted by Drain with 503.
+	RejectedDraining uint64 `json:"rejected_draining"`
+	// ShedWatch counts /watch registrations shed at saturation (the
+	// breaker: warmth goes before interactive traffic).
+	ShedWatch uint64 `json:"shed_watch"`
+	// ActiveNow / QueuedNow are the instantaneous occupancy gauges.
+	ActiveNow int `json:"active_now"`
+	QueuedNow int `json:"queued_now"`
+}
+
+// admitDecision is what admission hands the HTTP guard for a rejected
+// request: the status to send and the Retry-After hint (0 = no header).
+type admitDecision struct {
+	status     int
+	retryAfter int
+	err        error
+}
+
+// admission is the server's admission gate. A nil/disabled admission
+// admits everything (the zero-config behavior every existing caller
+// keeps).
+type admission struct {
+	enabled bool
+	sem     chan struct{} // MaxConcurrent slots
+	queue   chan struct{} // MaxQueue waiting slots
+	drain   chan struct{} // closed by Server.Drain; evicts waiters
+
+	quotas map[string]QuotaClass
+
+	mu       sync.Mutex
+	perToken map[string]int
+	stats    AdmissionStats
+}
+
+func newAdmission(maxConcurrent, maxQueue int, quotas map[string]QuotaClass) *admission {
+	a := &admission{
+		drain:    make(chan struct{}),
+		quotas:   quotas,
+		perToken: map[string]int{},
+	}
+	if maxConcurrent <= 0 {
+		return a // disabled: quotas still apply if configured
+	}
+	a.enabled = true
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	a.sem = make(chan struct{}, maxConcurrent)
+	a.queue = make(chan struct{}, maxQueue)
+	return a
+}
+
+// quotaFor resolves the client token to its class; unknown tokens get the
+// "" (anonymous/default) class when one is configured, else no cap.
+func (a *admission) quotaFor(token string) QuotaClass {
+	if q, ok := a.quotas[token]; ok {
+		return q
+	}
+	return a.quotas[""]
+}
+
+// reserveToken counts the request against its client quota; returns false
+// (already rejected and counted) when the class is exhausted.
+func (a *admission) reserveToken(token string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if q := a.quotaFor(token); q.MaxConcurrent > 0 && a.perToken[token] >= q.MaxConcurrent {
+		a.stats.RejectedQuota++
+		return false
+	}
+	a.perToken[token]++
+	return true
+}
+
+func (a *admission) releaseToken(token string) {
+	a.mu.Lock()
+	if a.perToken[token] > 1 {
+		a.perToken[token]--
+	} else {
+		delete(a.perToken, token)
+	}
+	a.mu.Unlock()
+}
+
+// drained reports whether Drain has begun (non-blocking).
+func (a *admission) drained() bool {
+	select {
+	case <-a.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// saturated reports whether every concurrency slot is occupied — the
+// signal the watcher's prewarm breaker sheds on.
+func (a *admission) saturated() bool {
+	if !a.enabled {
+		return false
+	}
+	return len(a.sem) == cap(a.sem) || len(a.queue) > 0
+}
+
+// retryAfter is the backoff hint for an overload rejection: the deeper
+// the queue, the longer the caller should stay away.
+func (a *admission) retryAfter() int {
+	if !a.enabled {
+		return retryAfterBaseSeconds
+	}
+	return retryAfterBaseSeconds + len(a.queue)
+}
+
+// admit gates one request. queueable requests (interactive /gate and
+// /assert) wait for a slot up to the queue bound; non-queueable ones
+// (/watch) are shed immediately at saturation. On success the returned
+// release must be called when the request finishes; on rejection release
+// is nil and dec says what to send.
+func (a *admission) admit(token string, queueable bool) (release func(), dec admitDecision) {
+	if !a.reserveToken(token) {
+		return nil, admitDecision{
+			status:     http.StatusTooManyRequests,
+			retryAfter: retryAfterBaseSeconds,
+			err:        fmt.Errorf("client quota exhausted (token %q): retry later", token),
+		}
+	}
+	if !a.enabled {
+		a.mu.Lock()
+		a.stats.Admitted++
+		a.mu.Unlock()
+		return func() { a.releaseToken(token) }, admitDecision{}
+	}
+	admitted := func() func() {
+		a.mu.Lock()
+		a.stats.Admitted++
+		a.mu.Unlock()
+		return func() {
+			<-a.sem
+			a.releaseToken(token)
+		}
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return admitted(), admitDecision{}
+	default:
+	}
+	if !queueable {
+		a.releaseToken(token)
+		a.mu.Lock()
+		a.stats.ShedWatch++
+		a.mu.Unlock()
+		return nil, admitDecision{
+			status:     http.StatusServiceUnavailable,
+			retryAfter: a.retryAfter(),
+			err:        fmt.Errorf("server saturated; watch registration shed"),
+		}
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.releaseToken(token)
+		a.mu.Lock()
+		a.stats.RejectedQueueFull++
+		a.mu.Unlock()
+		return nil, admitDecision{
+			status:     http.StatusServiceUnavailable,
+			retryAfter: a.retryAfter(),
+			err:        fmt.Errorf("server overloaded: %d running, %d queued", cap(a.sem), cap(a.queue)),
+		}
+	}
+	a.mu.Lock()
+	a.stats.Waited++
+	a.mu.Unlock()
+	select {
+	case a.sem <- struct{}{}:
+		<-a.queue
+		if a.drained() {
+			// The slot freed during a drain: queued work is rejected, not
+			// started, so drain terminates deterministically.
+			<-a.sem
+			a.releaseToken(token)
+			a.mu.Lock()
+			a.stats.RejectedDraining++
+			a.mu.Unlock()
+			return nil, admitDecision{
+				status: http.StatusServiceUnavailable,
+				err:    fmt.Errorf("server is draining; queued request rejected"),
+			}
+		}
+		return admitted(), admitDecision{}
+	case <-a.drain:
+		<-a.queue
+		a.releaseToken(token)
+		a.mu.Lock()
+		a.stats.RejectedDraining++
+		a.mu.Unlock()
+		return nil, admitDecision{
+			status: http.StatusServiceUnavailable,
+			err:    fmt.Errorf("server is draining; queued request rejected"),
+		}
+	}
+}
+
+// beginDrain evicts every queued waiter and makes admission refuse new
+// queueing. Idempotent.
+func (a *admission) beginDrain() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select {
+	case <-a.drain:
+	default:
+		close(a.drain)
+	}
+}
+
+// snapshot copies the overload ledger with the occupancy gauges filled.
+func (a *admission) snapshot() AdmissionStats {
+	a.mu.Lock()
+	st := a.stats
+	a.mu.Unlock()
+	st.Enabled = a.enabled
+	if a.enabled {
+		st.ActiveNow = len(a.sem)
+		st.QueuedNow = len(a.queue)
+	}
+	return st
+}

@@ -150,6 +150,10 @@ type WatcherStats struct {
 	FilesScanned uint64 `json:"files_scanned"`
 	Changes      uint64 `json:"changes"`
 	Prewarmed    uint64 `json:"prewarmed"`
+	// PrewarmsShed counts change events whose prewarm the overload breaker
+	// dropped (server saturated); the change is re-detected and re-warmed
+	// by a later poll once load falls.
+	PrewarmsShed uint64 `json:"prewarms_shed,omitempty"`
 	DirtySets    uint64 `json:"dirty_sets"`
 	LastChange   string `json:"last_change,omitempty"`
 }
@@ -183,6 +187,7 @@ type StatsResponse struct {
 	Draining   bool                `json:"draining"`
 	Inflight   int                 `json:"inflight"`
 	Requests   RequestCounts       `json:"requests"`
+	Admission  AdmissionStats      `json:"admission"`
 	Cases      []CaseStats         `json:"cases"`
 	Snapshot   program.CacheStats  `json:"snapshot_cache"`
 	Solver     smt.QueryCacheStats `json:"solver"`

@@ -88,6 +88,18 @@ type Config struct {
 	// daemon owns (snapshots, per-case fingerprints, per-case solver
 	// results). The caller opens and closes it; the server only attaches.
 	Store *store.Store
+	// MaxConcurrent bounds how many /gate, /assert, and /watch requests
+	// run at once (0 = unlimited: admission control off, the historical
+	// behavior). Past the bound, interactive requests queue up to MaxQueue
+	// and /watch registrations are shed immediately.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an admission slot
+	// (0 = DefaultMaxQueue when admission is enabled).
+	MaxQueue int
+	// Quotas maps an X-Lisa-Token header value to its admission class; the
+	// "" key is the class for requests with no (or an unknown) token.
+	// Quotas apply even when MaxConcurrent is 0.
+	Quotas map[string]QuotaClass
 }
 
 // caseRuntime is the long-lived per-case state: the engine with the case's
@@ -112,6 +124,7 @@ type Server struct {
 	snapshots *program.Cache
 	hist      *History
 	watch     *watcher
+	adm       *admission
 
 	started time.Time
 
@@ -145,6 +158,7 @@ func New(cfg Config) *Server {
 		started:   time.Now(),
 		cases:     map[string]*caseRuntime{},
 		idle:      make(chan struct{}, 1),
+		adm:       newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.Quotas),
 	}
 	s.snapshots.SetStore(cfg.Store)
 	s.watch = newWatcher(s, cfg.WatchInterval)
@@ -241,6 +255,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	pending := s.inflight
 	s.stateMu.Unlock()
+	// Evict queued-but-not-admitted requests first (they 503 and release
+	// their inflight slot), then let in-flight work finish.
+	s.adm.beginDrain()
 	s.watch.halt()
 	for pending > 0 {
 		select {
@@ -258,14 +275,25 @@ func (s *Server) Drain(ctx context.Context) error {
 	return nil
 }
 
+// admitClass says how an endpoint meets admission control: observability
+// endpoints bypass it entirely, interactive work may queue for a slot, and
+// watch registrations are shed at saturation (warmth before traffic).
+type admitClass int
+
+const (
+	admitNone admitClass = iota
+	admitQueued
+	admitShed
+)
+
 // Handler returns the daemon's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/gate", s.guard("POST", s.handleGate))
-	mux.HandleFunc("/assert", s.guard("POST", s.handleAssert))
-	mux.HandleFunc("/history", s.guard("GET", s.handleHistory))
-	mux.HandleFunc("/stats", s.guard("GET", s.handleStats))
-	mux.HandleFunc("/watch", s.guard("POST", s.handleWatch))
+	mux.HandleFunc("/gate", s.guard("POST", admitQueued, s.handleGate))
+	mux.HandleFunc("/assert", s.guard("POST", admitQueued, s.handleAssert))
+	mux.HandleFunc("/history", s.guard("GET", admitNone, s.handleHistory))
+	mux.HandleFunc("/stats", s.guard("GET", admitNone, s.handleStats))
+	mux.HandleFunc("/watch", s.guard("POST", admitShed, s.handleWatch))
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
 }
@@ -275,9 +303,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.Handler().ServeHTTP(w, r)
 }
 
-// guard wraps a handler with method checking and the drain gate, and
-// tracks the in-flight count.
-func (s *Server) guard(method string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// guard wraps a handler with method checking, the drain gate, and — for
+// classed endpoints — admission control, and tracks the in-flight count.
+func (s *Server) guard(method string, class admitClass, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed (want %s)", r.Method, method))
@@ -288,11 +316,42 @@ func (s *Server) guard(method string, h func(http.ResponseWriter, *http.Request)
 			return
 		}
 		defer s.end()
+		if class != admitNone {
+			release, dec := s.adm.admit(r.Header.Get(clientTokenHeader), class == admitQueued)
+			if release == nil {
+				s.noteOverload(r, dec)
+				if dec.retryAfter > 0 {
+					w.Header().Set("Retry-After", strconv.Itoa(dec.retryAfter))
+				}
+				writeError(w, dec.status, dec.err)
+				return
+			}
+			defer release()
+		}
 		if s.testRequestDelay > 0 {
 			time.Sleep(s.testRequestDelay)
 		}
 		h(w, r)
 	}
+}
+
+// clientTokenHeader carries the client identity admission quotas key on.
+const clientTokenHeader = "X-Lisa-Token"
+
+// noteOverload records a shed/rejected request in the audit ring, so an
+// operator reading /history sees overload alongside the work it displaced.
+func (s *Server) noteOverload(r *http.Request, dec admitDecision) {
+	verdict := "SHED"
+	if dec.status == http.StatusTooManyRequests {
+		verdict = "QUOTA"
+	}
+	s.hist.Add(HistoryEntry{
+		Time:    time.Now(),
+		Kind:    "overload",
+		Target:  r.URL.Path,
+		Verdict: verdict,
+		Detail:  dec.err.Error(),
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -532,6 +591,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests: RequestCounts{Gate: s.reqGate, Assert: s.reqAssert, Refused: s.reqRefused},
 	}
 	s.stateMu.Unlock()
+	resp.Admission = s.adm.snapshot()
 	resp.Cases = cases
 	resp.Snapshot = s.snapshots.Stats()
 	resp.Solver = solver

@@ -37,6 +37,12 @@ type watcher struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+
+	// testPrewarmDelay stretches every prewarm and testPrewarmStarted (when
+	// non-nil) is signalled as one begins (tests only: together they make
+	// "a prewarm is in flight while Drain runs" deterministic).
+	testPrewarmDelay   time.Duration
+	testPrewarmStarted chan struct{}
 }
 
 func newWatcher(srv *Server, interval time.Duration) *watcher {
@@ -151,6 +157,28 @@ func (w *watcher) poll() WatcherStats {
 	}
 
 	for _, ev := range events {
+		if w.srv.adm.saturated() {
+			// The overload breaker: prewarm warmth is the first work a
+			// saturated server sheds. Forgetting the observation makes the
+			// next poll re-detect the change and warm it once load falls —
+			// a missed prewarm costs warmth, never correctness.
+			w.mu.Lock()
+			if ev.isNew {
+				delete(w.seen, ev.path)
+			} else {
+				w.seen[ev.path] = ev.old
+			}
+			w.stats.PrewarmsShed++
+			w.mu.Unlock()
+			w.srv.hist.Add(HistoryEntry{
+				Time:    time.Now(),
+				Kind:    "watch",
+				Target:  ev.path,
+				Verdict: "SHED",
+				Detail:  "prewarm shed: server saturated",
+			})
+			continue
+		}
 		w.prewarm(ev.path, ev.source, ev.old, ev.isNew)
 	}
 
@@ -167,6 +195,15 @@ func (w *watcher) poll() WatcherStats {
 // there is one, and records the event in the request history.
 func (w *watcher) prewarm(path, source, old string, isNew bool) {
 	start := time.Now()
+	if w.testPrewarmStarted != nil {
+		select {
+		case w.testPrewarmStarted <- struct{}{}:
+		default:
+		}
+	}
+	if w.testPrewarmDelay > 0 {
+		time.Sleep(w.testPrewarmDelay)
+	}
 	snapBefore := w.srv.snapshots.Stats()
 	var detail string
 	snap, err := w.srv.snapshots.Load(source)

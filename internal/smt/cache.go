@@ -195,7 +195,7 @@ func (c *QueryCache) CacheName() string { return "solver" }
 
 // TierStats reports the two-tier counters in the unified shape.
 func (c *QueryCache) TierStats() store.TierStats {
-	return store.TierStats{
+	ts := store.TierStats{
 		Cache:      c.CacheName(),
 		MemHits:    c.hits.Load(),
 		MemMisses:  c.misses.Load(),
@@ -203,6 +203,10 @@ func (c *QueryCache) TierStats() store.TierStats {
 		DiskMisses: c.diskMisses.Load(),
 		DiskWrites: c.diskWrites.Load(),
 	}
+	if st := c.disk.Load(); st != nil {
+		ts.DiskWriteErrors = st.NamespaceWriteErrors(queryNamespace)
+	}
+	return ts
 }
 
 // Stats snapshots this instance's counters.
@@ -268,7 +272,7 @@ func satCached(f Formula, lim Limits) (bool, error) {
 	if c, ok := f.(*Const); ok {
 		return c.Value, nil
 	}
-	if !cacheEnabled.Load() || faultinject.Armed() {
+	if !cacheEnabled.Load() || (faultinject.Armed() && !faultinject.StoreScoped()) {
 		sat, _, nodes, err := solveCore(f, lim)
 		qc.solves.Add(1)
 		qc.nodes.Add(uint64(nodes))

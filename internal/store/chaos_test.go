@@ -1,0 +1,203 @@
+package store
+
+// The crash-recovery chaos campaign: a helper process writes a
+// deterministic record stream into a store while a store-scoped Crash rule
+// is armed at store.write, store.flush, or store.compact with a per-round
+// skip count, so the process dies at a different spot in the write stream
+// every round (mid-append with a half frame on disk, post-append
+// pre-sync, at compaction entry, or with a complete temp file one rename
+// short of committing). The parent then reopens the directory and demands
+// the invariants the store advertises: Open always succeeds, no key ever
+// serves a value that was never written for it (CRC catches torn and
+// rotted frames — they read as misses, not garbage), a second cold open
+// sees the identical record set (recovery is deterministic and complete,
+// not deferred), and the store is immediately writable again.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"lisa/internal/faultinject"
+)
+
+const (
+	chaosKeys   = 8  // keys k0..k7, overwritten round-robin
+	chaosWrites = 64 // puts per helper run, each followed by a Flush
+)
+
+// chaosVal is the deterministic value for write i of the campaign stream:
+// both helper and parent compute it, so the parent can recognize every
+// legitimate historical value for a key without a side channel.
+func chaosVal(seed int64, i int) []byte {
+	v := make([]byte, 96+((i*7)%32))
+	for j := range v {
+		v[j] = byte(int(seed) + i*131 + j*17)
+	}
+	return v
+}
+
+// TestStoreChaosHelper is not a test: it is the victim process of
+// TestStoreCrashRecoveryCampaign. It arms the round's Crash rule and
+// writes the deterministic stream until the injected crash kills it.
+func TestStoreChaosHelper(t *testing.T) {
+	if os.Getenv("LISA_STORE_CHAOS") != "1" {
+		t.Skip("helper process for TestStoreCrashRecoveryCampaign")
+	}
+	dir := os.Getenv("LISA_STORE_CHAOS_DIR")
+	point := os.Getenv("LISA_STORE_CHAOS_POINT")
+	skip, _ := strconv.Atoi(os.Getenv("LISA_STORE_CHAOS_SKIP"))
+	seed, _ := strconv.ParseInt(os.Getenv("LISA_STORE_CHAOS_SEED"), 10, 64)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("chaos helper Open: %v", err)
+	}
+	s.compactMin = 64 // small floor so the stream crosses compaction
+	faultinject.Arm(faultinject.NewPlan(seed).
+		SetAfter(point, faultinject.Crash, skip).
+		ScopeStore())
+	for i := 0; i < chaosWrites; i++ {
+		s.Put("chaos", fmt.Sprintf("k%d", i%chaosKeys), chaosVal(seed, i))
+		s.Flush() // errors irrelevant: the crash kills us first
+	}
+	// Reaching here means the rule never fired — the parent treats a clean
+	// exit as a campaign bug (the skip outran the point's visits).
+	s.Close()
+}
+
+// chaosRound describes one kill point of the campaign.
+type chaosRound struct {
+	point string
+	skip  int
+}
+
+// TestStoreCrashRecoveryCampaign runs the seeded multi-round campaign:
+// >= 20 kill points across append, sync, and both compaction crash sites.
+// Skipped in -short runs (each round spawns a process).
+func TestStoreCrashRecoveryCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash campaign spawns a process per round")
+	}
+	const seed int64 = 8
+	var rounds []chaosRound
+	// store.write fires once per non-dedup append; store.flush once per
+	// batch. 64 single-put batches per run, so skips up to 34 stay live.
+	for _, skip := range []int{0, 1, 2, 3, 5, 8, 13, 21, 34} {
+		rounds = append(rounds, chaosRound{FaultPointWrite, skip})
+		rounds = append(rounds, chaosRound{FaultPointFlush, skip})
+	}
+	// store.compact is consulted twice per compaction: at entry (log
+	// untouched) and after the temp file is synced, pre-rename (orphan
+	// temp left behind). The stream compacts within ~20 writes.
+	rounds = append(rounds,
+		chaosRound{FaultPointCompact, 0},
+		chaosRound{FaultPointCompact, 1},
+	)
+	if len(rounds) < 20 {
+		t.Fatalf("campaign has %d rounds, want >= 20", len(rounds))
+	}
+
+	// All legitimate values each key ever holds, for the serve check.
+	legit := make(map[string][][]byte)
+	for i := 0; i < chaosWrites; i++ {
+		key := fmt.Sprintf("k%d", i%chaosKeys)
+		legit[key] = append(legit[key], chaosVal(seed, i))
+	}
+
+	for _, r := range rounds {
+		r := r
+		t.Run(fmt.Sprintf("%s_skip%d", r.point, r.skip), func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run", "^TestStoreChaosHelper$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"LISA_STORE_CHAOS=1",
+				"LISA_STORE_CHAOS_DIR="+dir,
+				"LISA_STORE_CHAOS_POINT="+r.point,
+				"LISA_STORE_CHAOS_SKIP="+strconv.Itoa(r.skip),
+				"LISA_STORE_CHAOS_SEED="+strconv.FormatInt(seed, 10),
+			)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != faultinject.CrashExitCode {
+				t.Fatalf("helper did not die at the kill point (err=%v):\n%s", err, out)
+			}
+
+			// First cold open: tail recovery runs here if needed.
+			s1, err := Open(dir)
+			if err != nil {
+				t.Fatalf("reopen after crash: %v", err)
+			}
+			seen := readAll(t, s1, legit)
+			if st := s1.Stats(); st.Corruptions != 0 {
+				t.Fatalf("corrupted record served after recovery: %+v", st)
+			}
+			// The store must be writable immediately after recovery.
+			s1.Put("chaos", "post-crash", []byte("alive"))
+			if err := s1.Flush(); err != nil {
+				t.Fatalf("post-recovery Flush: %v", err)
+			}
+			s1.Close()
+
+			// Second cold open: recovery must have been complete — same
+			// record set, no further repairs, no orphan temp file.
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("second reopen: %v", err)
+			}
+			defer s2.Close()
+			seen2 := readAll(t, s2, legit)
+			delete(seen2, "post-crash")
+			if len(seen) != len(seen2) {
+				t.Fatalf("record set changed across cold opens: %d then %d", len(seen), len(seen2))
+			}
+			for k, v := range seen {
+				if !bytes.Equal(v, seen2[k]) {
+					t.Fatalf("key %s differs across cold opens", k)
+				}
+			}
+			if st := s2.Stats(); st.Recoveries != 0 {
+				t.Fatalf("second open still repairing: %+v", st)
+			}
+			if v, ok := s2.Get("chaos", "post-crash"); !ok || string(v) != "alive" {
+				t.Fatalf("post-recovery write lost: %q, %v", v, ok)
+			}
+			if _, err := os.Stat(filepath.Join(dir, logName+".tmp")); !os.IsNotExist(err) {
+				t.Fatalf("orphan compaction temp file survived reopen: %v", err)
+			}
+		})
+	}
+}
+
+// readAll fetches every campaign key from the store, fails the test on any
+// value that was never legitimately written, and returns the served set.
+func readAll(t *testing.T, s *Store, legit map[string][][]byte) map[string][]byte {
+	t.Helper()
+	seen := map[string][]byte{}
+	for i := 0; i < chaosKeys; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, ok := s.Get("chaos", key)
+		if !ok {
+			continue // lost to the crash: acceptable, serving garbage is not
+		}
+		valid := false
+		for _, want := range legit[key] {
+			if bytes.Equal(v, want) {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			t.Fatalf("key %s serves a value that was never written (%d bytes)", key, len(v))
+		}
+		seen[key] = v
+	}
+	if v, ok := s.Get("chaos", "post-crash"); ok {
+		seen["post-crash"] = v
+	}
+	return seen
+}

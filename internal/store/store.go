@@ -19,11 +19,19 @@
 //
 // Puts are write-behind: they enqueue onto a bounded channel drained by a
 // single writer goroutine, so cache hit paths never block on disk; Flush
-// drains the queue (tests, process exit). While a faultinject plan is
-// armed, Put is a no-op — results computed under injection must never
-// poison the store — and Get stays active so the store.read Corrupt point
-// can exercise the CRC check: a corrupted read is counted and served as a
-// miss, never as data.
+// drains the queue (tests, process exit) and surfaces the first background
+// append failure since the previous barrier — a failed write-behind append
+// is additionally counted (per store and per namespace), reported to
+// stderr once, and visible in Stats, so silent persistence loss cannot
+// hide. While a faultinject plan is armed, Put is a no-op — results
+// computed under injection must never poison the store — unless the plan
+// is store-scoped (Plan.ScopeStore): then the computation above the store
+// is clean, the injected faults live in the store itself, and the write
+// path must stay live so the store.write / store.flush / store.compact
+// points (including process-kill Crash rules, the crash-recovery
+// campaign's tool) can fire on real appends. Get stays active while armed
+// either way, so the store.read Corrupt point can exercise the CRC check:
+// a corrupted read is counted and served as a miss, never as data.
 package store
 
 import (
@@ -34,6 +42,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -66,10 +75,25 @@ const (
 	writeQueueCap = 1024
 )
 
-// FaultPointRead is the faultinject hook consulted on every disk read; a
-// Corrupt rule flips a byte in the frame before the CRC check, which must
-// surface as a detected miss, never as data.
-const FaultPointRead = "store.read"
+// Faultinject hook points in the store. Read is consulted on every disk
+// read; a Corrupt rule flips a byte in the frame before the CRC check,
+// which must surface as a detected miss, never as data. Write fires per
+// frame append (Corrupt: the frame lands on disk with a flipped byte;
+// Budget: the append "fails" like a full disk and is counted as a write
+// error; Crash: half the frame reaches the disk and the process dies —
+// the torn tail the next Open must truncate). Flush fires before the
+// batch fsync (Budget: the sync "fails", counted; Crash: the process dies
+// with the batch written but not synced). Compact fires twice per
+// compaction — on entry and again after the temp log is written, before
+// the rename (Budget on entry aborts the compaction; Crash kills the
+// process at whichever visit the rule's skip count selects, leaving
+// either an untouched log or an orphaned store.log.tmp).
+const (
+	FaultPointRead    = "store.read"
+	FaultPointWrite   = "store.write"
+	FaultPointFlush   = "store.flush"
+	FaultPointCompact = "store.compact"
+)
 
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
@@ -84,7 +108,7 @@ type indexEntry struct {
 type pendingPut struct {
 	key   string // composite ns\x00key
 	val   []byte
-	flush chan struct{} // non-nil: a Flush barrier, not a write
+	flush chan error // non-nil: a Flush barrier, not a write
 }
 
 // Store is an on-disk content-addressed KV log shared by the snapshot,
@@ -121,6 +145,14 @@ type Store struct {
 	puts, writes, armedSkips atomic.Uint64
 	corruptions, recoveries  atomic.Uint64
 	compactions, rescans     atomic.Uint64
+	writeErrors              atomic.Uint64
+
+	// errMu guards the per-namespace write-error ledger and the last error
+	// text; errLogOnce limits the stderr report to the first failure.
+	errMu      sync.Mutex
+	nsErrs     map[string]uint64
+	lastErr    string
+	errLogOnce sync.Once
 }
 
 // Stats is a snapshot of one store's counters, exposed through /stats and
@@ -139,6 +171,11 @@ type Stats struct {
 	Recoveries  uint64 `json:"recoveries"`
 	Compactions uint64 `json:"compactions"`
 	Rescans     uint64 `json:"rescans"`
+	// WriteErrors counts puts whose background append failed — persistence
+	// that was silently lost before this counter existed. LastWriteError
+	// carries the most recent failure's text for /stats readers.
+	WriteErrors    uint64 `json:"write_errors"`
+	LastWriteError string `json:"last_write_error,omitempty"`
 }
 
 // TierStats is the unified two-tier counter block every CacheBackend
@@ -150,6 +187,10 @@ type TierStats struct {
 	DiskHits   uint64 `json:"disk_hits"`
 	DiskMisses uint64 `json:"disk_misses"`
 	DiskWrites uint64 `json:"disk_writes"`
+	// DiskWriteErrors counts this cache's puts whose background append
+	// failed in the store — entries the next cold process will have to
+	// recompute even though this one paid for them.
+	DiskWriteErrors uint64 `json:"disk_write_errors,omitempty"`
 }
 
 // CacheBackend is the common two-tier shape of the sched fingerprint
@@ -172,6 +213,10 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	// A writer that died mid-compaction leaves an orphaned temp log; it
+	// was never renamed into place, so it holds nothing the real log does
+	// not. Clear it away rather than let a later compaction inherit it.
+	os.Remove(filepath.Join(dir, logName+".tmp"))
 	s := &Store{
 		dir:        dir,
 		path:       filepath.Join(dir, logName),
@@ -391,13 +436,15 @@ func (s *Store) reopenIfSwappedLocked() error {
 }
 
 // Put schedules (ns, key) → val for write-behind append. The value is
-// copied. While a faultinject plan is armed the write is dropped: results
-// computed under injection must never reach the disk tier.
+// copied. While a faultinject plan is armed the write is dropped — results
+// computed under injection must never reach the disk tier — unless the
+// plan is store-scoped (the chaos campaign injecting faults into the store
+// itself, on cleanly computed values; see the package comment).
 func (s *Store) Put(ns, key string, val []byte) {
 	if s.closed.Load() {
 		return
 	}
-	if faultinject.Armed() {
+	if faultinject.Armed() && !faultinject.StoreScoped() {
 		s.armedSkips.Add(1)
 		return
 	}
@@ -415,12 +462,16 @@ func (s *Store) Put(ns, key string, val []byte) {
 }
 
 // Flush blocks until every Put issued before the call has been appended
-// and synced.
+// and synced, and returns the first background append failure since the
+// previous barrier (nil when everything landed). A failed write-behind
+// append is thereby no longer silent: the caller that wants durability
+// sees the error, and the counters (Stats.WriteErrors, per-namespace via
+// NamespaceWriteErrors) record it either way.
 func (s *Store) Flush() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	done := make(chan struct{})
+	done := make(chan error, 1)
 	s.qmu.RLock()
 	if s.closed.Load() {
 		s.qmu.RUnlock()
@@ -428,8 +479,7 @@ func (s *Store) Flush() error {
 	}
 	s.queue <- pendingPut{flush: done}
 	s.qmu.RUnlock()
-	<-done
-	return nil
+	return <-done
 }
 
 // Close drains the write-behind queue and closes the store. Further
@@ -462,12 +512,14 @@ func (s *Store) Dir() string { return s.dir }
 
 // writer is the single write-behind goroutine: it batches whatever is
 // queued, appends the batch under one exclusive lock + sync, and acks
-// flush barriers once the queue ahead of them has landed.
+// flush barriers once the queue ahead of them has landed — carrying the
+// first append failure since the previous barrier to whoever is waiting.
 func (s *Store) writer() {
 	defer s.wg.Done()
+	var pendingErr error
 	for p := range s.queue {
 		batch := make([]pendingPut, 0, 16)
-		var flushes []chan struct{}
+		var flushes []chan error
 		if p.flush != nil {
 			flushes = append(flushes, p.flush)
 		} else {
@@ -490,52 +542,129 @@ func (s *Store) writer() {
 			}
 		}
 		if len(batch) > 0 {
-			s.appendBatch(batch)
+			if err := s.appendBatch(batch); err != nil && pendingErr == nil {
+				pendingErr = err
+			}
 		}
 		for _, ch := range flushes {
-			close(ch)
+			ch <- pendingErr
+		}
+		if len(flushes) > 0 {
+			pendingErr = nil
 		}
 	}
 }
 
+// noteWriteError records one put whose background append failed: the
+// store-wide and per-namespace counters grow, the error text is kept for
+// Stats, and the first failure in the store's lifetime is reported to
+// stderr (once — a dying disk would otherwise flood the log).
+func (s *Store) noteWriteError(key string, err error) {
+	s.writeErrors.Add(1)
+	ns := key
+	if i := strings.Index(key, nsSep); i >= 0 {
+		ns = key[:i]
+	}
+	s.errMu.Lock()
+	if s.nsErrs == nil {
+		s.nsErrs = map[string]uint64{}
+	}
+	s.nsErrs[ns]++
+	s.lastErr = err.Error()
+	s.errMu.Unlock()
+	s.errLogOnce.Do(func() {
+		fmt.Fprintf(os.Stderr, "store: background append failed (further failures counted, not logged): %v\n", err)
+	})
+}
+
+// NamespaceWriteErrors returns how many failed background appends hit the
+// given namespaces — the per-cache slice of Stats.WriteErrors, surfaced
+// through each cache backend's TierStats.
+func (s *Store) NamespaceWriteErrors(namespaces ...string) uint64 {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	var n uint64
+	for _, ns := range namespaces {
+		n += s.nsErrs[ns]
+	}
+	return n
+}
+
 // appendBatch writes a batch of frames under one exclusive lock, syncs,
-// and compacts if the dead ratio warrants it.
-func (s *Store) appendBatch(batch []pendingPut) {
+// and compacts if the dead ratio warrants it. Every put the batch loses —
+// to a real I/O error or an injected store.write/store.flush fault — is
+// counted via noteWriteError, and the first error is returned so the next
+// Flush barrier can surface it.
+func (s *Store) appendBatch(batch []pendingPut) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	fail := func(from int, err error) error {
+		for _, p := range batch[from:] {
+			s.noteWriteError(p.key, err)
+		}
+		return err
+	}
 	if s.f == nil {
-		return
+		return fail(0, ErrClosed)
 	}
 	if err := s.flock(syscall.LOCK_EX); err != nil {
-		return
+		return fail(0, err)
 	}
 	defer s.funlock()
 	if err := s.reopenIfSwappedLocked(); err != nil {
-		return
+		return fail(0, err)
 	}
 	if err := s.scanTailLocked(); err != nil {
-		return
+		return fail(0, err)
 	}
 	// A torn tail (crashed writer) must go before we append after it.
 	fi, err := s.f.Stat()
 	if err != nil {
-		return
+		return fail(0, fmt.Errorf("store: %w", err))
 	}
 	if s.scanned < fi.Size() {
 		if err := s.f.Truncate(s.scanned); err != nil {
-			return
+			return fail(0, fmt.Errorf("store: truncate torn tail: %w", err))
 		}
 		s.recoveries.Add(1)
 	}
-	for _, p := range batch {
+	var firstErr error
+	for i, p := range batch {
 		if prev, ok := s.index[p.key]; ok {
 			if same, _ := s.frameEqual(prev, p.val); same {
 				continue // identical live record already on disk
 			}
 		}
 		frame := encodeFrame(p.key, p.val)
+		if faultinject.Armed() {
+			if kind, hit := faultinject.At(FaultPointWrite); hit {
+				switch kind {
+				case faultinject.Crash:
+					// A writer dying mid-append: half the frame reaches
+					// the disk, then the process is gone. The torn tail
+					// is exactly what repairTailLocked exists for.
+					s.f.WriteAt(frame[:len(frame)/2], s.scanned)
+					s.f.Sync()
+					faultinject.CrashNow(FaultPointWrite)
+				case faultinject.Corrupt:
+					// The frame lands whole but a bit rotted on the way:
+					// its CRC no longer matches, so every future read
+					// must detect it and serve a miss, never the data.
+					frame[len(frame)-1] ^= 0xff
+				case faultinject.Budget:
+					// The append fails like a full disk: the put is lost
+					// and must be counted, not silently dropped.
+					err := fmt.Errorf("store: injected write failure at %s", FaultPointWrite)
+					s.noteWriteError(p.key, err)
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+			}
+		}
 		if _, err := s.f.WriteAt(frame, s.scanned); err != nil {
-			return
+			return fail(i, fmt.Errorf("store: append: %w", err))
 		}
 		if prev, ok := s.index[p.key]; ok {
 			s.dead += prev.size
@@ -546,10 +675,32 @@ func (s *Store) appendBatch(batch []pendingPut) {
 		s.scanned += int64(len(frame))
 		s.writes.Add(1)
 	}
-	s.f.Sync()
+	if faultinject.Armed() {
+		if kind, hit := faultinject.At(FaultPointFlush); hit {
+			switch kind {
+			case faultinject.Crash:
+				// The process dies with the batch written but not synced
+				// — whatever the OS already persisted is what recovery
+				// gets to work with.
+				faultinject.CrashNow(FaultPointFlush)
+			case faultinject.Budget:
+				err := fmt.Errorf("store: injected sync failure at %s", FaultPointFlush)
+				for _, p := range batch {
+					s.noteWriteError(p.key, err)
+				}
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	if err := s.f.Sync(); err != nil {
+		return fail(0, fmt.Errorf("store: sync: %w", err))
+	}
 	if s.dead > s.compactMin && s.dead > s.live {
 		s.compactLocked()
 	}
+	return firstErr
 }
 
 // frameEqual reports whether the live frame at ent already stores val.
@@ -577,6 +728,23 @@ func (s *Store) frameEqual(ent indexEntry, val []byte) (bool, error) {
 // processes notice the inode change on their next locked operation and
 // reopen.
 func (s *Store) compactLocked() {
+	if faultinject.Armed() {
+		if kind, hit := faultinject.At(FaultPointCompact); hit {
+			switch kind {
+			case faultinject.Crash:
+				// Death before the rewrite starts (first firing visit) or
+				// after the temp file is fully written (use SetAfter to
+				// select the second visit): either way the original log is
+				// still the one on disk, so recovery must serve it intact
+				// and Open must sweep any orphan temp file.
+				faultinject.CrashNow(FaultPointCompact)
+			case faultinject.Budget:
+				// Compaction aborted — e.g. no space for the temp file.
+				// The log keeps its dead weight; correctness is unchanged.
+				return
+			}
+		}
+	}
 	tmpPath := s.path + ".tmp"
 	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -622,6 +790,15 @@ func (s *Store) compactLocked() {
 		os.Remove(tmpPath)
 		return
 	}
+	if faultinject.Armed() {
+		// Second consult of the same point: a SetAfter(point, Crash, 1)
+		// rule sails past the entry check above and dies here — temp file
+		// complete and synced, rename not yet issued. Recovery must keep
+		// serving the original log and remove the orphan.
+		if kind, hit := faultinject.At(FaultPointCompact); hit && kind == faultinject.Crash {
+			faultinject.CrashNow(FaultPointCompact)
+		}
+	}
 	if err := os.Rename(tmpPath, s.path); err != nil {
 		os.Remove(tmpPath)
 		return
@@ -651,6 +828,9 @@ func (s *Store) Stats() Stats {
 	records := len(s.index)
 	live, dead := s.live, s.dead
 	s.mu.Unlock()
+	s.errMu.Lock()
+	lastErr := s.lastErr
+	s.errMu.Unlock()
 	return Stats{
 		Records:     records,
 		LiveBytes:   live,
@@ -665,6 +845,9 @@ func (s *Store) Stats() Stats {
 		Recoveries:  s.recoveries.Load(),
 		Compactions: s.compactions.Load(),
 		Rescans:     s.rescans.Load(),
+
+		WriteErrors:    s.writeErrors.Load(),
+		LastWriteError: lastErr,
 	}
 }
 

@@ -382,3 +382,194 @@ func TestStoreHammer(t *testing.T) {
 		t.Fatalf("hammer caused corruption reports: %+v", st)
 	}
 }
+
+// TestStoreScopedPutsPersist: a store-scoped plan (faults aimed at the
+// storage layer itself) must NOT trip the "never persist under injection"
+// guard — the computation above the store is clean, and dropping writes
+// would leave the chaos campaign nothing to crash.
+func TestStoreScopedPutsPersist(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+
+	faultinject.Arm(faultinject.NewPlan(1).
+		Set(FaultPointCompact, faultinject.Budget). // never visited here
+		ScopeStore())
+	defer faultinject.Disarm()
+	s.Put("a", "k", []byte("persisted"))
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if st := s.Stats(); st.ArmedSkips != 0 {
+		t.Fatalf("store-scoped put was skipped: %+v", st)
+	}
+	faultinject.Disarm()
+	s.Close()
+	s2 := openT(t, dir)
+	if v, ok := s2.Get("a", "k"); !ok || string(v) != "persisted" {
+		t.Fatalf("store-scoped put did not persist: %q, %v", v, ok)
+	}
+}
+
+// TestInjectedWriteFailureSurfaced: a Budget fault at store.write loses
+// the put like a full disk would, and the loss must be *visible* — Flush
+// returns the error, Stats and the per-namespace counter record it.
+func TestInjectedWriteFailureSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "a", "kept", []byte("before faults"))
+
+	faultinject.Arm(faultinject.NewPlan(1).
+		Set(FaultPointWrite, faultinject.Budget).
+		ScopeStore())
+	s.Put("a", "lost", []byte("never lands"))
+	err := s.Flush()
+	faultinject.Disarm()
+	if err == nil {
+		t.Fatal("Flush after failed append returned nil")
+	}
+	st := s.Stats()
+	if st.WriteErrors != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", st.WriteErrors)
+	}
+	if st.LastWriteError == "" {
+		t.Fatal("LastWriteError empty after failed append")
+	}
+	if n := s.NamespaceWriteErrors("a"); n != 1 {
+		t.Fatalf("NamespaceWriteErrors(a) = %d, want 1", n)
+	}
+	if n := s.NamespaceWriteErrors("other"); n != 0 {
+		t.Fatalf("NamespaceWriteErrors(other) = %d, want 0", n)
+	}
+	// The failed put is gone; earlier data is untouched; the next Flush
+	// barrier is clean again.
+	if _, ok := s.Get("a", "lost"); ok {
+		t.Fatal("failed put is readable")
+	}
+	if v, ok := s.Get("a", "kept"); !ok || string(v) != "before faults" {
+		t.Fatalf("pre-fault record = %q, %v", v, ok)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("clean Flush still reports old error: %v", err)
+	}
+}
+
+// TestInjectedCorruptWriteDetected: a Corrupt fault at store.write lands
+// the frame with a rotted byte. Reads must detect the bad CRC and serve a
+// miss, and a reopen must drop the frame in tail recovery — corrupted
+// data is never served either way.
+func TestInjectedCorruptWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	putFlush(t, s, "a", "good", []byte("intact"))
+
+	faultinject.Arm(faultinject.NewPlan(1).
+		Set(FaultPointWrite, faultinject.Corrupt).
+		ScopeStore())
+	putFlush(t, s, "a", "rotten", []byte("bitrot"))
+	faultinject.Disarm()
+
+	if v, ok := s.Get("a", "rotten"); ok {
+		t.Fatalf("corrupted record served: %q", v)
+	}
+	if st := s.Stats(); st.Corruptions == 0 {
+		t.Fatal("corruption not counted")
+	}
+	if v, ok := s.Get("a", "good"); !ok || string(v) != "intact" {
+		t.Fatalf("clean record = %q, %v", v, ok)
+	}
+	s.Close()
+	s2 := openT(t, dir)
+	if v, ok := s2.Get("a", "rotten"); ok {
+		t.Fatalf("corrupted record survived reopen: %q", v)
+	}
+	if v, ok := s2.Get("a", "good"); !ok || string(v) != "intact" {
+		t.Fatalf("clean record after reopen = %q, %v", v, ok)
+	}
+}
+
+// TestInjectedSyncFailureSurfaced: a Budget fault at store.flush fails the
+// batch's sync — every put in the batch counts as a write error and the
+// Flush barrier reports it.
+func TestInjectedSyncFailureSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+
+	faultinject.Arm(faultinject.NewPlan(1).
+		Set(FaultPointFlush, faultinject.Budget).
+		ScopeStore())
+	s.Put("a", "k1", []byte("v1"))
+	s.Put("a", "k2", []byte("v2"))
+	err := s.Flush()
+	faultinject.Disarm()
+	if err == nil {
+		t.Fatal("Flush after failed sync returned nil")
+	}
+	if st := s.Stats(); st.WriteErrors != 2 {
+		t.Fatalf("WriteErrors = %d, want 2 (whole batch)", st.WriteErrors)
+	}
+}
+
+// TestInjectedCompactAborted: a Budget fault at store.compact models "no
+// room for the temp file" — compaction backs off, the log keeps its dead
+// weight, and every live record stays readable.
+func TestInjectedCompactAborted(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.compactMin = 64
+	faultinject.Arm(faultinject.NewPlan(1).
+		Set(FaultPointCompact, faultinject.Budget).
+		ScopeStore())
+	defer faultinject.Disarm()
+	val := make([]byte, 128)
+	for i := 0; i < 16; i++ {
+		for j := range val {
+			val[j] = byte(i + j)
+		}
+		putFlush(t, s, "a", "churn", val)
+	}
+	st := s.Stats()
+	if st.Compactions != 0 {
+		t.Fatalf("aborted compaction still ran: %+v", st)
+	}
+	if st.DeadBytes <= st.LiveBytes {
+		t.Fatalf("expected dead > live with compaction suppressed: %+v", st)
+	}
+	if v, ok := s.Get("a", "churn"); !ok || !bytes.Equal(v, val) {
+		t.Fatalf("churn = %v, %v", v, ok)
+	}
+}
+
+// TestSetAfterWritesThenFails: SetAfter lets the first N appends land and
+// fails sticky from then on — the knob the crash campaign turns to vary
+// where in the write stream the process dies.
+func TestSetAfterWritesThenFails(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	faultinject.Arm(faultinject.NewPlan(1).
+		SetAfter(FaultPointWrite, faultinject.Budget, 2).
+		ScopeStore())
+	defer faultinject.Disarm()
+	for i := 0; i < 4; i++ {
+		s.Put("a", fmt.Sprintf("k%d", i), []byte{byte(i)})
+		err := s.Flush()
+		if i < 2 && err != nil {
+			t.Fatalf("Flush %d (before fault armed): %v", i, err)
+		}
+		if i >= 2 && err == nil {
+			t.Fatalf("Flush %d (fault armed) returned nil", i)
+		}
+	}
+	if st := s.Stats(); st.WriteErrors != 2 {
+		t.Fatalf("WriteErrors = %d, want 2 (skip=2 of 4 appends)", st.WriteErrors)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Get("a", fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d (before fault armed) missing", i)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if _, ok := s.Get("a", fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("k%d (after fault armed) landed", i)
+		}
+	}
+}

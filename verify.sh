@@ -3,12 +3,17 @@
 # for the packages with concurrency (scheduler worker pool, snapshot
 # cache, solver result cache, prefix-pruning walker, fault injector, the
 # on-disk store with its goroutine hammer, and the serve daemon with its
-# request hammer), the daemon smoke test by name (start a real listener,
-# one gate round trip, clean drain), the cold-process-on-warm-store
-# smoke (two CLI invocations sharing a store directory: the second must
-# serve its jobs from the disk tier), the perf-regression gate against
-# the committed counter baseline, and a smoke run of the fault-injection
-# matrix. ROADMAP.md points here.
+# request hammer and admission control), the daemon smoke test by name
+# (start a real listener, one gate round trip, clean drain), the
+# cold-process-on-warm-store smoke (two CLI invocations sharing a store
+# directory: the second must serve its jobs from the disk tier), the
+# crash-recovery campaign by name (seeded kill points in the store's
+# write path, plus the daemon cold-gate byte-identity rounds), the
+# remote-failover smoke (a dead daemon must fall back to local execution
+# with byte-identical stdout, and report distinct exit codes with
+# failover off), the perf-regression gate against the committed counter
+# baseline, and a smoke run of the fault-injection matrix. ROADMAP.md
+# points here.
 set -ex
 go build ./...
 go test ./...
@@ -19,5 +24,16 @@ STORE_SMOKE=$(mktemp -d)
 go run ./cmd/lisa assert -case zk-ephemeral -tests -store "$STORE_SMOKE" > /dev/null
 go run ./cmd/lisa assert -case zk-ephemeral -tests -store "$STORE_SMOKE" | grep "served from the disk tier"
 rm -rf "$STORE_SMOKE"
-go run ./cmd/lisabench -diff BENCH_7.json
+go test -run 'TestStoreCrashRecoveryCampaign' -count=1 ./internal/store
+go test -run 'TestGateByteIdentityAfterCrash' -count=1 ./internal/server
+FO_SMOKE=$(mktemp -d)
+go build -o "$FO_SMOKE/lisa" ./cmd/lisa
+"$FO_SMOKE/lisa" assert -case zk-ephemeral > "$FO_SMOKE/local.out"
+"$FO_SMOKE/lisa" assert -case zk-ephemeral -remote http://127.0.0.1:1 -remote-retries 1 > "$FO_SMOKE/failover.out" 2> /dev/null
+cmp "$FO_SMOKE/local.out" "$FO_SMOKE/failover.out"
+rc=0
+"$FO_SMOKE/lisa" assert -case zk-ephemeral -remote http://127.0.0.1:1 -remote-retries 0 -remote-failover=false > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 4
+rm -rf "$FO_SMOKE"
+go run ./cmd/lisabench -diff BENCH_8.json
 go run ./cmd/lisabench -exp chaos -seed 1
