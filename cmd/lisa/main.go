@@ -23,16 +23,26 @@
 //
 //	lisa assert -rules <case-id> -source <file> [-tests]
 //	    Assert the case's rules over an arbitrary MiniJ source file.
-//	    Add -workers N to fan the assertion out over the parallel
-//	    scheduler (0 = GOMAXPROCS; default 1 = sequential).
+//	    Assertions run on the parallel scheduler with a GOMAXPROCS-wide
+//	    pool by default; -workers N overrides the width, and -workers 1
+//	    selects the sequential engine loop (the byte-identity baseline).
 //
 //	lisa gate -case <id> -change <file> [-workers N] [-incremental]
 //	    Run the CI gate for a proposed full-source change against the
 //	    case's registered rules. Exits 1 when the change is blocked.
-//	    -workers N runs the assertion on the parallel scheduler;
+//	    -workers overrides the scheduler pool width (default GOMAXPROCS);
 //	    -incremental first primes the scheduler's fingerprint cache on the
 //	    current head, then gates the change so only impacted jobs
 //	    re-execute (the summary reports the cache-hit split).
+//
+//	lisa assert|gate ... -shards N
+//	    Partition the run's semantics across N child lisa processes by
+//	    stable hash, all sharing one on-disk store (a temporary directory
+//	    unless -store is given). Each child executes only its shard and
+//	    writes results through; the parent then re-runs the full job set
+//	    against the warmed store — every job served from the disk tier —
+//	    and prints the usual report, byte-identical to a sequential run,
+//	    plus a per-shard wall-clock ledger. Incompatible with -remote.
 //
 //	lisa author -spec <file> -source <file>
 //	    Compile developer-authored semantics from a structured spec file
@@ -95,6 +105,7 @@ import (
 	"lisa/internal/program"
 	"lisa/internal/sched"
 	"lisa/internal/server"
+	"lisa/internal/shard"
 	"lisa/internal/smt"
 	"lisa/internal/store"
 	"lisa/internal/ticket"
@@ -386,7 +397,9 @@ func runAssert(args []string) error {
 	version := fs.String("version", "head", "target version: head, latest, or <ticket-id>:buggy|fixed")
 	sourcePath := fs.String("source", "", "path to a MiniJ source file to assert over")
 	withTests := fs.Bool("tests", false, "also replay similarity-selected tests")
-	workers := fs.Int("workers", 1, "scheduler pool width; 1 = sequential engine, 0 = GOMAXPROCS")
+	workers := fs.Int("workers", 0, "scheduler pool width; 0 = GOMAXPROCS (the default), 1 = the sequential engine loop")
+	shards := fs.Int("shards", 1, "split the assertion across N child processes sharing one store; the parent then merges from the warmed store and prints the usual report")
+	shardIndex := fs.Int("shard-index", -1, "internal: run as shard child N of -shards (set by the parent; executes only that shard's semantics and suppresses the report)")
 	storeDir := fs.String("store", "", "back the snapshot, solver, and fingerprint caches with an on-disk store at this directory (created if missing)")
 	remote := fs.String("remote", "", "assert through a running lisa serve daemon at this base URL instead of in-process")
 	remoteRetries := fs.Int("remote-retries", server.DefaultRemoteRetries, "with -remote: retries after a transient daemon failure (connection refused, timeout, drain, overload)")
@@ -402,6 +415,23 @@ func runAssert(args []string) error {
 	}
 	if id == "" {
 		return fmt.Errorf("need -case or -rules")
+	}
+	var shardResults []shard.Result
+	var mergeStart time.Time
+	cleanupShards := func() {}
+	defer func() { cleanupShards() }()
+	if *shards > 1 && *shardIndex < 0 {
+		if *remote != "" {
+			return fmt.Errorf("-shards is incompatible with -remote")
+		}
+		results, dir, cleanup, err := spawnShards("assert", args, *shards, *storeDir)
+		if err != nil {
+			return err
+		}
+		cleanupShards = cleanup
+		shardResults = results
+		*storeDir = dir
+		mergeStart = time.Now()
 	}
 	if *remote != "" {
 		req := server.AssertRequest{Case: id, Version: *version, Tests: *withTests}
@@ -497,18 +527,35 @@ func runAssert(args []string) error {
 	}
 	var rep *core.AssertReport
 	var err error
-	if *workers != 1 || st != nil {
+	if *workers != 1 || st != nil || *shardIndex >= 0 {
 		s := sched.New()
 		s.Cache().SetStore(st)
+		opts := sched.Options{Workers: *workers}
+		if *shardIndex >= 0 {
+			opts.ShardIndex = *shardIndex
+			opts.ShardCount = *shards
+		}
 		var stats *sched.Stats
-		rep, stats, err = s.Assert(e, target, tests, sched.Options{Workers: *workers})
+		rep, stats, err = s.Assert(e, target, tests, opts)
 		if err != nil {
 			return err
+		}
+		if *shardIndex >= 0 {
+			// Child mode: this process only warms the shared store with its
+			// shard's results. The parent's merge run owns the report and
+			// the exit code, so print a one-line summary and succeed.
+			flushStore()
+			fmt.Printf("shard %d/%d: %d jobs (%d executed, %d cache hits), %d semantics elsewhere\n",
+				*shardIndex, *shards, stats.Jobs, stats.Executed, stats.CacheHits, stats.ShardSkippedSemantics)
+			return nil
 		}
 		fmt.Printf("\nscheduled %d jobs on %d workers (%d site, %d dynamic, %d structural)\n",
 			stats.Jobs, stats.Workers, stats.SiteJobs, stats.DynamicJobs, stats.StructuralJobs)
 		if stats.DiskHits > 0 {
 			fmt.Printf("store: %d job(s) served from the disk tier\n", stats.DiskHits)
+		}
+		if shardResults != nil {
+			fmt.Print(shard.Ledger(shardResults, time.Since(mergeStart)))
 		}
 	} else {
 		rep, err = e.Assert(target, tests)
@@ -541,6 +588,7 @@ func runAssert(args []string) error {
 	}
 	if rep.Counts.Violations > 0 {
 		flushStore()
+		cleanupShards()
 		os.Exit(1)
 	}
 	return nil
@@ -551,7 +599,9 @@ func runGate(args []string) error {
 	caseID := fs.String("case", "", "corpus case id providing the registered rules")
 	changePath := fs.String("change", "", "path to the proposed full MiniJ source")
 	summary := fs.String("summary", "proposed change", "change summary for the gate log")
-	workers := fs.Int("workers", 1, "scheduler pool width; 1 = sequential engine, 0 = GOMAXPROCS")
+	workers := fs.Int("workers", 0, "scheduler pool width; 0 = GOMAXPROCS (the default), 1 = the sequential engine loop")
+	shards := fs.Int("shards", 1, "split the gate's assertion across N child processes sharing one store; the parent then merges from the warmed store and prints the gate log")
+	shardIndex := fs.Int("shard-index", -1, "internal: run as shard child N of -shards (set by the parent; executes only that shard's semantics and suppresses the gate log)")
 	incremental := fs.Bool("incremental", false, "prime the fingerprint cache on the current head, then gate only what the change impacts")
 	failClosed := fs.Bool("fail-closed", true, "block the change when any contract's assertion is INCONCLUSIVE (degraded by a deadline, budget, or contained crash)")
 	failOpen := fs.Bool("fail-open", false, "downgrade INCONCLUSIVE outcomes to warnings and let the change pass; overrides -fail-closed")
@@ -575,6 +625,23 @@ func runGate(args []string) error {
 	if err != nil {
 		return err
 	}
+	var shardResults []shard.Result
+	var mergeStart time.Time
+	cleanupShards := func() {}
+	defer func() { cleanupShards() }()
+	if *shards > 1 && *shardIndex < 0 {
+		if *remote != "" {
+			return fmt.Errorf("-shards is incompatible with -remote")
+		}
+		results, dir, cleanup, serr := spawnShards("gate", args, *shards, *storeDir)
+		if serr != nil {
+			return serr
+		}
+		cleanupShards = cleanup
+		shardResults = results
+		*storeDir = dir
+		mergeStart = time.Now()
+	}
 	if *remote != "" {
 		req := server.GateRequest{
 			Case:        *caseID,
@@ -584,8 +651,8 @@ func runGate(args []string) error {
 			FailOpen:    *failOpen || !*failClosed,
 		}
 		// The daemon picks its own pool width unless -workers was given
-		// explicitly (the local default of 1 would force every remote gate
-		// sequential, defeating the warm scheduler).
+		// explicitly (both sides default to GOMAXPROCS, but the daemon's
+		// operator may have configured a different width).
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "workers":
@@ -636,14 +703,22 @@ func runGate(args []string) error {
 		}
 	}
 	opts := ci.GateOptions{Workers: *workers, Incremental: *incremental, FailOpen: *failOpen || !*failClosed}
-	if *workers != 1 || *incremental || st != nil {
+	if *shardIndex >= 0 {
+		opts.ShardIndex = *shardIndex
+		opts.ShardCount = *shards
+	}
+	if *workers != 1 || *incremental || st != nil || *shardIndex >= 0 {
 		opts.Scheduler = sched.New()
 		opts.Scheduler.Cache().SetStore(st)
 	}
 	if *incremental && opts.Scheduler != nil {
 		// Warm the cache on the current head so the gate re-executes only
 		// the jobs the change impacts.
-		if _, _, err := opts.Scheduler.Assert(e, cs.Head(), cs.Tests, sched.Options{Workers: *workers}); err != nil {
+		if _, _, err := opts.Scheduler.Assert(e, cs.Head(), cs.Tests, sched.Options{
+			Workers:    *workers,
+			ShardIndex: opts.ShardIndex,
+			ShardCount: opts.ShardCount,
+		}); err != nil {
 			return fmt.Errorf("priming cache on head: %w", err)
 		}
 	}
@@ -655,9 +730,20 @@ func runGate(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *shardIndex >= 0 {
+		// Child mode: the point was warming the shared store; the parent's
+		// merge gate owns the log and the exit code.
+		flushStore()
+		fmt.Printf("shard %d/%d: gate pass=%v (report suppressed; parent merges)\n", *shardIndex, *shards, res.Pass)
+		return nil
+	}
+	if shardResults != nil {
+		fmt.Print(shard.Ledger(shardResults, time.Since(mergeStart)))
+	}
 	fmt.Print(res.Summary())
 	if !res.Pass {
 		flushStore()
+		cleanupShards()
 		os.Exit(1)
 	}
 	return nil

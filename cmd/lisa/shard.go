@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+
+	"lisa/internal/shard"
+)
+
+// spawnShards is the parent side of `lisa assert/gate -shards N`: it
+// launches one child `lisa <sub>` process per shard, each restricted (via
+// the internal -shard-index flag) to the semantics its shard covers, all
+// sharing one on-disk store directory. Children execute their shard's jobs
+// and write the results through; the parent then runs the full job set
+// against the warmed store — the merge — so its report is produced by the
+// ordinary registry-order path and stays byte-identical to a sequential
+// run.
+//
+// storeDir may be empty: a temporary directory is created and shared, and
+// the returned cleanup removes it (callers must invoke cleanup on every
+// exit path, including before os.Exit). The returned dir is the store the
+// parent's own merge run must attach.
+func spawnShards(sub string, args []string, shards int, storeDir string) (results []shard.Result, dir string, cleanup func(), err error) {
+	cleanup = func() {}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, "", cleanup, fmt.Errorf("resolve executable for shard children: %w", err)
+	}
+	dir = storeDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "lisa-shards-")
+		if err != nil {
+			return nil, "", cleanup, err
+		}
+		tmp := dir
+		cleanup = func() { os.RemoveAll(tmp) }
+	}
+	results = shard.Run(shards, func(i int) *exec.Cmd {
+		childArgs := append([]string{sub}, args...)
+		childArgs = append(childArgs, "-shard-index", strconv.Itoa(i))
+		if storeDir == "" {
+			childArgs = append(childArgs, "-store", dir)
+		}
+		return exec.Command(exe, childArgs...)
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			cleanup()
+			return nil, "", func() {}, fmt.Errorf("shard %d failed: %v\n%s", r.Index, r.Err, r.Output)
+		}
+	}
+	return results, dir, cleanup, nil
+}

@@ -9,8 +9,8 @@
 //
 //	lisabench [-exp study|timeline|ephemeral|comparison|workflow|
 //	                generalize|hbase|hdfs|reliability|compose|ablations|
-//	                chaos|all]
-//	          [-timings=false] [-seed N] [-json FILE]
+//	                chaos|stress|all]
+//	          [-timings=false] [-seed N] [-json FILE] [-stress-sites N]
 //	lisabench -diff BENCH_N.json
 //	    Perf-regression gate: run the full sweep quietly and compare the
 //	    deterministic cost counters of the tracked hot paths (solver
@@ -53,9 +53,11 @@ func main() {
 	jsonPath := flag.String("json", "", "write bench/summary numbers (experiment wall clock, cache and solver stats) to this file")
 	diffPath := flag.String("diff", "", "run the full sweep quietly and diff its counters against this committed BENCH_*.json; exit non-zero on >25% regression in the tracked hot-path counters")
 	storeDir := flag.String("store", "", "back the process-wide snapshot and solver caches with an on-disk store at this directory (default off: counters then match a store-less run exactly)")
+	stressSites := flag.Int("stress-sites", experiments.StressSites, "guarded call sites the E-P1 stress corpus generates (the paper-scale run uses 10000; the stress run uses private caches, so the -diff counters are unaffected)")
 	flag.Parse()
 
 	experiments.ChaosSeed = *seed
+	experiments.StressSites = *stressSites
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {

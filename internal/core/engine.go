@@ -563,7 +563,12 @@ func (e *Engine) SitePaths(rctx context.Context, ctx *AssertContext, siteRep *Si
 		if e.IntraOnly || len(chains) == 0 {
 			chains = []callgraph.Path{nil}
 		}
+		// Enumerate first, then submit every complement check as one
+		// solver batch: identical instantiated queries across the site's
+		// paths dedup onto a single solve, and the cache is consulted in
+		// one lock pass instead of one round trip per path.
 		seen := map[string]bool{}
+		var pending []*concolic.StaticPath
 		for _, chain := range chains {
 			var paths []*concolic.StaticPath
 			var truncated bool
@@ -578,17 +583,20 @@ func (e *Engine) SitePaths(rctx context.Context, ctx *AssertContext, siteRep *Si
 					continue
 				}
 				seen[p.Key()] = true
-				verdict, err := concolic.CheckStaticPathLim(p, lim)
-				if err != nil {
-					stageErr = err
-					return
-				}
-				siteRep.Paths = append(siteRep.Paths, &PathReport{
-					Static:          p,
-					Verdict:         verdict,
-					DynamicVerdicts: map[string]concolic.Verdict{},
-				})
+				pending = append(pending, p)
 			}
+		}
+		verdicts, err := concolic.CheckStaticPathsLim(pending, lim)
+		if err != nil {
+			stageErr = err
+			return
+		}
+		for i, p := range pending {
+			siteRep.Paths = append(siteRep.Paths, &PathReport{
+				Static:          p,
+				Verdict:         verdicts[i],
+				DynamicVerdicts: map[string]concolic.Verdict{},
+			})
 		}
 		// Path enumeration swallows cancellation into truncation; surface
 		// it so a cancelled run fails the job instead of shipping a

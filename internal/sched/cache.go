@@ -80,18 +80,25 @@ type siteEntry struct {
 	truncated bool
 }
 
-// getSite serves a site job's static paths, deep-copied onto fresh
-// PathReports ready for dynamic attribution.
-func (c *Cache) getSite(fp string) ([]*core.PathReport, bool, bool) {
+// getSiteBatch answers many site fingerprints in a single lock
+// acquisition (one batch of jobs pays one lock round trip instead of one
+// per job). Misses come back nil; hits are served as deep copies — fresh
+// PathReports ready for dynamic attribution — and the hit/miss counters
+// advance per fingerprint.
+func (c *Cache) getSiteBatch(fps []string) []*siteEntry {
+	out := make([]*siteEntry, len(fps))
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ent, ok := c.sites[fp]
-	if !ok {
-		c.misses++
-		return nil, false, false
+	for i, fp := range fps {
+		ent, ok := c.sites[fp]
+		if !ok {
+			c.misses++
+			continue
+		}
+		c.hits++
+		out[i] = &siteEntry{paths: clonePaths(ent.paths), truncated: ent.truncated}
 	}
-	c.hits++
-	return clonePaths(ent.paths), ent.truncated, true
+	return out
 }
 
 // putSite stores a just-computed static site result.

@@ -119,10 +119,11 @@ func siteClosure(g *callgraph.Graph, siteRep *core.SiteReport) []*minij.Method {
 // siteFingerprint hashes one (semantic × site) static job: the checker
 // formula, the target statement and slot operands, the caller-chain slice
 // of the call graph, and the canonical AST of every method the stage can
-// read (served from the snapshot's memoized per-method renderings). occ
-// disambiguates canonically identical target statements within the same
-// method.
-func siteFingerprint(e *core.Engine, ctx *core.AssertContext, semFP string, siteRep *core.SiteReport, closure []*minij.Method, occ int) string {
+// read — via methodFP, a per-plan memo of method canon digests, so a
+// method shared by many closures is digested once per run instead of
+// re-hashed in full per site. occ disambiguates canonically identical
+// target statements within the same method.
+func siteFingerprint(e *core.Engine, semFP string, siteRep *core.SiteReport, closure []*minij.Method, occ int, methodFP func(*minij.Method) string) string {
 	site := siteRep.Site
 	binds := make([]string, 0, len(site.Bindings))
 	for slot, expr := range site.Bindings {
@@ -140,7 +141,7 @@ func siteFingerprint(e *core.Engine, ctx *core.AssertContext, semFP string, site
 		parts = append(parts, ch.String())
 	}
 	for _, m := range closure {
-		parts = append(parts, ctx.MethodCanon(m))
+		parts = append(parts, methodFP(m))
 	}
 	return hashParts(parts...)
 }

@@ -17,6 +17,7 @@ import (
 	"lisa/internal/core"
 	"lisa/internal/minij"
 	"lisa/internal/program"
+	"lisa/internal/shard"
 	"lisa/internal/smt"
 	"lisa/internal/ticket"
 )
@@ -36,6 +37,17 @@ type Options struct {
 	// BaseSource is the pre-change system source (typically
 	// ci.Change.OldSource); used when Base is nil.
 	BaseSource string
+	// BatchSize groups jobs into units dispatched to a worker as one
+	// message, amortizing the channel handoff and letting the batch answer
+	// its cache lookups in one lock pass; <= 0 means DefaultBatchSize.
+	BatchSize int
+	// ShardIndex/ShardCount restrict the run to the registry semantics that
+	// shard.Assign hashes to ShardIndex of ShardCount. Count <= 1 means
+	// unsharded. The partition is per semantic so a semantic's structural,
+	// site, and dynamic jobs stay in one process (dynamic replay reads
+	// every site result of its semantic).
+	ShardIndex int
+	ShardCount int
 }
 
 // Stats describes what one scheduled run did: the job breakdown, how much
@@ -75,6 +87,12 @@ type Stats struct {
 	// counters, approximate when other runs share the process.
 	SolverQueries   uint64
 	SolverCacheHits uint64
+	// ShardIndex/ShardCount echo the shard spec (0/0 when unsharded);
+	// ShardSkippedSemantics counts registry semantics hashed to other
+	// shards and therefore never planned in this run.
+	ShardIndex            int
+	ShardCount            int
+	ShardSkippedSemantics int
 }
 
 // Scheduler executes assertion runs over a persistent fingerprint cache.
@@ -125,7 +143,6 @@ type job struct {
 	// attached to the semantic report at merge time, single-threaded, so
 	// workers never append to a shared slice.
 	failure *core.JobFailure
-	tm      core.StageTimings
 }
 
 // semPlan groups one semantic's jobs.
@@ -214,8 +231,13 @@ func (s *Scheduler) assertContext(parent context.Context, e *core.Engine, ctx *c
 		stats.DirtyMethods = dirty.SortedMethods()
 	}
 
+	spec := shard.Spec{Index: opts.ShardIndex, Count: opts.ShardCount}
+	if spec.Enabled() {
+		stats.ShardIndex = spec.Index
+		stats.ShardCount = spec.Count
+	}
 	var plans []*semPlan
-	tm.Time("plan", func() { plans = s.plan(e, ctx, dirty) })
+	tm.Time("plan", func() { plans = s.plan(e, ctx, dirty, spec, stats) })
 
 	// Wave 1: structural checks and per-site static stages — fully
 	// independent. Wave 2: per-semantic replay, which reads every site
@@ -230,17 +252,27 @@ func (s *Scheduler) assertContext(parent context.Context, e *core.Engine, ctx *c
 			wave2 = append(wave2, sp.dynamic)
 		}
 	}
-	runPool(wave1, workers, func(j *job) { s.runJob(rctx, e, ctx, j) })
-	runPool(wave2, workers, func(j *job) { s.runJob(rctx, e, ctx, j) })
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	batches1 := makeBatches(wave1, batchSize)
+	batches2 := makeBatches(wave2, batchSize)
+	s.runBatches(rctx, e, ctx, batches1, workers)
+	s.runBatches(rctx, e, ctx, batches2, workers)
+	for _, b := range batches1 {
+		tm.AddAll(b.tm)
+	}
+	for _, b := range batches2 {
+		tm.AddAll(b.tm)
+	}
 
-	// Deterministic merge: registry order, site order, with per-job stage
-	// timings folded back into the run totals.
+	// Deterministic merge: registry order, site order.
 	report := &core.AssertReport{StageTimings: tm, StaticOnly: len(ctx.Tests) == 0}
 	for _, sp := range plans {
 		jobs := sp.jobs()
 		executed := 0
 		for _, j := range jobs {
-			tm.AddAll(j.tm)
 			stats.Jobs++
 			if j.impacted {
 				stats.ImpactedJobs++
@@ -300,18 +332,37 @@ func (sp *semPlan) jobs() []*job {
 	return out
 }
 
-// plan decomposes the registry into jobs with fingerprints. Site matching
-// and execution trees are computed here (they are cheap and their outputs
-// participate in the fingerprints); the expensive stages — path
-// enumeration with SMT verdicts, structural scans, concolic replay — are
-// deferred to the jobs.
-func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty) []*semPlan {
+// plan decomposes the registry into jobs with fingerprints, skipping
+// semantics the shard spec assigns elsewhere (their matching, chain
+// enumeration, and fingerprint hashing are all avoided, not just their
+// execution). Site matching and execution trees are computed here (they
+// are cheap and their outputs participate in the fingerprints); the
+// expensive stages — path enumeration with SMT verdicts, structural scans,
+// concolic replay — are deferred to the jobs.
+func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty, spec shard.Spec, stats *Stats) []*semPlan {
 	// The system program's identity is the snapshot's canonical content
 	// address — memoized, so a warm replay never re-renders the program.
 	progFP := ctx.Snapshot.CanonHash()
 	corpusFP := corpusFingerprint(ctx.Tests)
+	// Site fingerprints hash every method in the site's closure; closures
+	// overlap heavily across sites, so each method's canonical text is
+	// digested once per plan and the per-site hash covers digests, not
+	// full texts.
+	canonFPs := map[*minij.Method]string{}
+	methodFP := func(m *minij.Method) string {
+		fp, ok := canonFPs[m]
+		if !ok {
+			fp = hashParts("canon", ctx.MethodCanon(m))
+			canonFPs[m] = fp
+		}
+		return fp
+	}
 	var plans []*semPlan
 	for _, sem := range e.Registry.All() {
+		if !spec.Covers(sem.ID) {
+			stats.ShardSkippedSemantics++
+			continue
+		}
 		semFP := semFingerprint(sem)
 		sp := &semPlan{sem: sem}
 		if sem.Kind == contract.StructuralKind {
@@ -341,7 +392,7 @@ func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty) 
 				sr:       sp.sr,
 				siteRep:  siteRep,
 				closure:  closure,
-				fp:       siteFingerprint(e, ctx, semFP, siteRep, closure, occ[key]),
+				fp:       siteFingerprint(e, semFP, siteRep, closure, occ[key], methodFP),
 				impacted: dirty == nil || dirty.impactsClosure(closure),
 			}
 			occ[key]++
@@ -366,15 +417,18 @@ func (s *Scheduler) plan(e *core.Engine, ctx *core.AssertContext, dirty *Dirty) 
 	return plans
 }
 
-// runJob executes or cache-serves one job. Cache hits are re-anchored onto
-// the current run's report objects so downstream stages and rendering
-// always see current sites. Execution goes through the engine's contained
-// job wrappers — the same decomposition the sequential loop uses — so a
-// panicking or over-budget job degrades instead of killing the worker.
-// Failed jobs are never cached: a cached entry must be an authoritative
-// result, and the next run should retry.
-func (s *Scheduler) runJob(rctx context.Context, e *core.Engine, ctx *core.AssertContext, j *job) {
-	j.tm = core.StageTimings{}
+// runJob executes or cache-serves one job, recording stage timings into
+// the enclosing batch's tm (jobs of one batch run on one worker, so the
+// shared map is race-free). Site jobs arrive with the memory tier already
+// answered by the batch precheck (runBatch), so their lookup starts at the
+// disk tier. Cache hits are re-anchored onto the current run's report
+// objects so downstream stages and rendering always see current sites.
+// Execution goes through the engine's contained job wrappers — the same
+// decomposition the sequential loop uses — so a panicking or over-budget
+// job degrades instead of killing the worker. Failed jobs are never
+// cached: a cached entry must be an authoritative result, and the next run
+// should retry.
+func (s *Scheduler) runJob(rctx context.Context, e *core.Engine, ctx *core.AssertContext, j *job, tm core.StageTimings) {
 	switch j.kind {
 	case jobStructural:
 		if sr, ok := s.cache.getStructural(j.fp); ok {
@@ -388,19 +442,13 @@ func (s *Scheduler) runJob(rctx context.Context, e *core.Engine, ctx *core.Asser
 			j.cacheHit = true
 			return
 		}
-		j.sr = e.StructuralJob(rctx, ctx, j.name, j.sem, j.tm)
+		j.sr = e.StructuralJob(rctx, ctx, j.name, j.sem, tm)
 		if len(j.sr.Failures) == 0 {
 			s.cache.putStructural(j.fp, j.sr)
 			s.cache.diskPutStructural(j.fp, j.sr)
 		}
 		j.executed = true
 	case jobSite:
-		if paths, truncated, ok := s.cache.getSite(j.fp); ok {
-			j.siteRep.Paths = paths
-			j.siteRep.TreeTruncated = truncated
-			j.cacheHit = true
-			return
-		}
 		if paths, truncated, ok := s.cache.diskGetSite(j.fp, j.siteRep.Site); ok {
 			j.siteRep.Paths = paths
 			j.siteRep.TreeTruncated = truncated
@@ -408,7 +456,7 @@ func (s *Scheduler) runJob(rctx context.Context, e *core.Engine, ctx *core.Asser
 			j.cacheHit = true
 			return
 		}
-		j.failure = e.SiteJob(rctx, ctx, j.name, j.siteRep, j.tm)
+		j.failure = e.SiteJob(rctx, ctx, j.name, j.siteRep, tm)
 		if j.failure == nil {
 			s.cache.putSite(j.fp, j.siteRep)
 			s.cache.diskPutSite(j.fp, j.siteRep)
@@ -428,7 +476,7 @@ func (s *Scheduler) runJob(rctx context.Context, e *core.Engine, ctx *core.Asser
 			j.cacheHit = true
 			return
 		}
-		j.testsRun, j.failure = e.DynamicJob(rctx, ctx, j.name, j.sr, j.tm)
+		j.testsRun, j.failure = e.DynamicJob(rctx, ctx, j.name, j.sr, tm)
 		if j.failure == nil {
 			ov := extractOverlay(j.sr, j.testsRun)
 			s.cache.putDynamic(j.fp, ov)
@@ -438,29 +486,94 @@ func (s *Scheduler) runJob(rctx context.Context, e *core.Engine, ctx *core.Asser
 	}
 }
 
-// runPool fans jobs out over a fixed-width worker pool. Width 1 degrades
-// to an in-order loop (the deterministic baseline the parallel runs are
-// checked against).
-func runPool(jobs []*job, workers int, run func(*job)) {
-	if workers <= 1 || len(jobs) <= 1 {
-		for _, j := range jobs {
-			run(j)
+// DefaultBatchSize bounds how many jobs ride one worker dispatch. Jobs in
+// the corpus run sub-millisecond, so a dispatch has to carry enough of
+// them to amortize the channel round trip; 32 keeps dispatch overhead
+// under ~3% of even the cheapest batch while still feeding an 8-wide pool
+// from modest job sets.
+const DefaultBatchSize = 32
+
+// batchUnit is the unit of worker dispatch: a contiguous run of planned
+// jobs (wave order is registry order, so a chunk's site jobs share their
+// semantic and read overlapping closures) plus the stage-timing map they
+// share.
+type batchUnit struct {
+	jobs []*job
+	tm   core.StageTimings
+}
+
+// makeBatches chunks jobs into units of at most size, preserving order.
+func makeBatches(jobs []*job, size int) []*batchUnit {
+	var batches []*batchUnit
+	for len(jobs) > 0 {
+		n := size
+		if n > len(jobs) {
+			n = len(jobs)
+		}
+		batches = append(batches, &batchUnit{jobs: jobs[:n]})
+		jobs = jobs[n:]
+	}
+	return batches
+}
+
+// runBatch executes one batch on the calling goroutine. The batch's site
+// jobs answer their memory-tier lookups in a single lock pass first; the
+// remaining jobs then run in order.
+func (s *Scheduler) runBatch(rctx context.Context, e *core.Engine, ctx *core.AssertContext, b *batchUnit) {
+	b.tm = core.StageTimings{}
+	var siteJobs []*job
+	for _, j := range b.jobs {
+		if j.kind == jobSite {
+			siteJobs = append(siteJobs, j)
+		}
+	}
+	if len(siteJobs) > 0 {
+		fps := make([]string, len(siteJobs))
+		for i, j := range siteJobs {
+			fps[i] = j.fp
+		}
+		for i, hit := range s.cache.getSiteBatch(fps) {
+			if hit == nil {
+				continue
+			}
+			j := siteJobs[i]
+			j.siteRep.Paths = hit.paths
+			j.siteRep.TreeTruncated = hit.truncated
+			j.cacheHit = true
+		}
+	}
+	for _, j := range b.jobs {
+		if !j.cacheHit {
+			s.runJob(rctx, e, ctx, j, b.tm)
+		}
+	}
+}
+
+// runBatches fans batches out over a fixed-width worker pool. Width 1
+// runs everything inline on the calling goroutine — no channels, no
+// goroutine handoff — which is the deterministic baseline the parallel
+// runs are checked against and the fix for the old width-1 pool paying
+// dispatch overhead for nothing.
+func (s *Scheduler) runBatches(rctx context.Context, e *core.Engine, ctx *core.AssertContext, batches []*batchUnit, workers int) {
+	if workers <= 1 || len(batches) <= 1 {
+		for _, b := range batches {
+			s.runBatch(rctx, e, ctx, b)
 		}
 		return
 	}
-	ch := make(chan *job)
+	ch := make(chan *batchUnit)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range ch {
-				run(j)
+			for b := range ch {
+				s.runBatch(rctx, e, ctx, b)
 			}
 		}()
 	}
-	for _, j := range jobs {
-		ch <- j
+	for _, b := range batches {
+		ch <- b
 	}
 	close(ch)
 	wg.Wait()

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -388,6 +389,11 @@ func (s *Server) handleGate(w http.ResponseWriter, r *http.Request) {
 	if workers == 0 {
 		workers = s.cfg.Workers
 	}
+	if workers <= 0 {
+		// Explicitly resolve the default here so responses report the
+		// actual pool width instead of 0.
+		workers = runtime.GOMAXPROCS(0)
+	}
 	budget := s.cfg.Budget
 	if req.Budget != nil {
 		budget = req.Budget.Budget()
@@ -485,6 +491,11 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 	workers := req.Workers
 	if workers == 0 {
 		workers = s.cfg.Workers
+	}
+	if workers <= 0 {
+		// Explicitly resolve the default here so responses report the
+		// actual pool width instead of 0.
+		workers = runtime.GOMAXPROCS(0)
 	}
 	var tests []ticket.TestCase
 	if req.Tests {

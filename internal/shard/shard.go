@@ -1,0 +1,91 @@
+// Package shard partitions an assertion run's job set across OS processes.
+// The unit of partition is the semantic: a stable hash of the semantic ID
+// assigns it to exactly one shard, which keeps a semantic's structural,
+// site, and dynamic jobs colocated in one process (the dynamic replay job
+// reads every site result of its semantic, so splitting a semantic across
+// processes would force cross-process result shipping).
+//
+// The merge protocol is the fingerprint cache: every shard shares one
+// on-disk store directory (flock makes concurrent writers safe), each child
+// executes only its own semantics and writes their results through, and the
+// parent then runs the full job set against the warmed store — every job is
+// served from the disk tier, and the parent's ordinary registry-order merge
+// produces the report, byte-identical to a sequential run by construction.
+package shard
+
+import (
+	"hash/fnv"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"lisa/internal/report"
+)
+
+// Assign maps an identity (a semantic ID) to a shard in [0, count) by
+// stable hash. count <= 1 always assigns shard 0.
+func Assign(id string, count int) int {
+	if count <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int(h.Sum64() % uint64(count))
+}
+
+// Spec names one shard of a topology. The zero value (and any Count <= 1)
+// means unsharded: every identity is covered.
+type Spec struct {
+	Index int
+	Count int
+}
+
+// Enabled reports whether the spec actually partitions anything.
+func (s Spec) Enabled() bool { return s.Count > 1 }
+
+// Covers reports whether id's jobs belong to this shard.
+func (s Spec) Covers(id string) bool {
+	return !s.Enabled() || Assign(id, s.Count) == s.Index
+}
+
+// Result is one child shard's outcome: its combined output (for the
+// parent's diagnostics), its exit error if any, and its wall clock.
+type Result struct {
+	Index  int
+	Output []byte
+	Err    error
+	Wall   time.Duration
+}
+
+// Run launches one child process per shard (cmd(i) builds the i'th
+// command), runs them all concurrently, and waits for every one. Results
+// come back indexed by shard so the caller's handling is deterministic
+// regardless of completion order.
+func Run(count int, cmd func(index int) *exec.Cmd) []Result {
+	results := make([]Result, count)
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			out, err := cmd(i).CombinedOutput()
+			results[i] = Result{Index: i, Output: out, Err: err, Wall: time.Since(start)}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// Ledger renders the per-shard wall-clock breakdown of a Run plus the
+// merge stage that followed it. Shards run concurrently, so the table's
+// total exceeds elapsed time; the point is spotting a straggler shard.
+func Ledger(results []Result, merge time.Duration) string {
+	tm := report.NewTimings()
+	for _, r := range results {
+		tm.Record("shard "+strconv.Itoa(r.Index), r.Wall)
+	}
+	tm.Record("merge", merge)
+	return tm.Render("Wall clock by shard stage")
+}

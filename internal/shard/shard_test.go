@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAssignStablePartition: every identity lands in exactly one shard of
+// [0, count), the assignment is deterministic across calls, and a realistic
+// ID population spreads over every shard (fnv-1a, not a degenerate hash).
+func TestAssignStablePartition(t *testing.T) {
+	if got := Assign("anything", 0); got != 0 {
+		t.Errorf("count=0: got shard %d, want 0", got)
+	}
+	if got := Assign("anything", 1); got != 0 {
+		t.Errorf("count=1: got shard %d, want 0", got)
+	}
+	for _, count := range []int{2, 4, 7} {
+		seen := make([]int, count)
+		for i := 0; i < 200; i++ {
+			id := fmt.Sprintf("sem-%d", i)
+			s := Assign(id, count)
+			if s < 0 || s >= count {
+				t.Fatalf("Assign(%q, %d) = %d out of range", id, count, s)
+			}
+			if again := Assign(id, count); again != s {
+				t.Fatalf("Assign(%q, %d) unstable: %d then %d", id, count, s, again)
+			}
+			seen[s]++
+		}
+		for s, n := range seen {
+			if n == 0 {
+				t.Errorf("count=%d: shard %d got no IDs out of 200", count, s)
+			}
+		}
+	}
+}
+
+// TestSpecCovers: the zero Spec covers everything; an enabled topology
+// covers every ID on exactly one shard.
+func TestSpecCovers(t *testing.T) {
+	var zero Spec
+	if zero.Enabled() || !zero.Covers("any-id") {
+		t.Errorf("zero Spec: enabled=%v covers=%v", zero.Enabled(), zero.Covers("any-id"))
+	}
+	if (Spec{Index: 0, Count: 1}).Enabled() {
+		t.Error("count=1 Spec reports enabled")
+	}
+	const count = 3
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("rule-%d", i)
+		covered := 0
+		for idx := 0; idx < count; idx++ {
+			if (Spec{Index: idx, Count: count}).Covers(id) {
+				covered++
+			}
+		}
+		if covered != 1 {
+			t.Errorf("%q covered by %d of %d shards, want exactly 1", id, covered, count)
+		}
+	}
+}
+
+// TestRunCollectsResultsInOrder: concurrent children come back indexed by
+// shard with their output and wall clock, regardless of completion order.
+func TestRunCollectsResultsInOrder(t *testing.T) {
+	results := Run(3, func(i int) *exec.Cmd {
+		return exec.Command("sh", "-c", fmt.Sprintf("echo child-%d", i))
+	})
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has Index %d", i, r.Index)
+		}
+		if r.Err != nil {
+			t.Errorf("shard %d: %v", i, r.Err)
+		}
+		if want := fmt.Sprintf("child-%d", i); !strings.Contains(string(r.Output), want) {
+			t.Errorf("shard %d output %q missing %q", i, r.Output, want)
+		}
+		if r.Wall <= 0 {
+			t.Errorf("shard %d wall clock %v", i, r.Wall)
+		}
+	}
+}
+
+// TestRunReportsChildFailure: a failing child surfaces its exit error on
+// its own slot without disturbing the others.
+func TestRunReportsChildFailure(t *testing.T) {
+	results := Run(2, func(i int) *exec.Cmd {
+		if i == 1 {
+			return exec.Command("sh", "-c", "echo boom; exit 3")
+		}
+		return exec.Command("sh", "-c", "echo ok")
+	})
+	if results[0].Err != nil {
+		t.Errorf("healthy shard errored: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("failing shard reported no error")
+	}
+	if !strings.Contains(string(results[1].Output), "boom") {
+		t.Errorf("failing shard output %q kept from parent", results[1].Output)
+	}
+}
+
+// TestLedger: the wall-clock table names every shard and the merge stage.
+func TestLedger(t *testing.T) {
+	out := Ledger([]Result{
+		{Index: 0, Wall: 5 * time.Millisecond},
+		{Index: 1, Wall: 7 * time.Millisecond},
+	}, 2*time.Millisecond)
+	for _, want := range []string{"shard 0", "shard 1", "merge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ledger missing %q:\n%s", want, out)
+		}
+	}
+}

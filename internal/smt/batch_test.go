@@ -1,0 +1,261 @@
+package smt
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoadBatchDedupsWithinBatch: duplicate keys inside one batch collapse
+// onto a single solve, and every occurrence gets the leader's verdict.
+func TestLoadBatchDedupsWithinBatch(t *testing.T) {
+	c := NewQueryCache(16)
+	calls := 0
+	sats, errs := c.loadBatch([]string{"k", "k", "k", "k"}, DefaultMaxNodes, func(int) (bool, int, error) {
+		calls++
+		return true, 3, nil
+	})
+	if calls != 1 {
+		t.Fatalf("solves = %d, want 1", calls)
+	}
+	for i := range sats {
+		if errs[i] != nil || !sats[i] {
+			t.Fatalf("batch[%d] = %v, %v, want true, nil", i, sats[i], errs[i])
+		}
+	}
+	if st := c.Stats(); st.Solves != 1 || st.Hits != 3 {
+		t.Fatalf("stats = %+v, want 1 solve, 3 hits", st)
+	}
+}
+
+// TestLoadBatchMixedHitJoinLeader: a batch mixing a warm key, fresh keys,
+// and a duplicate solves only the distinct fresh keys.
+func TestLoadBatchMixedHitJoinLeader(t *testing.T) {
+	c := NewQueryCache(16)
+	if _, err := c.load("warm", DefaultMaxNodes, func() (bool, int, error) { return true, 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	solved := map[string]int{}
+	keys := []string{"warm", "a", "b", "a"}
+	sats, errs := c.loadBatch(keys, DefaultMaxNodes, func(k int) (bool, int, error) {
+		solved[keys[k]]++
+		return keys[k] == "a", 2, nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("batch[%d]: %v", i, err)
+		}
+	}
+	want := []bool{true, true, false, true}
+	for i := range want {
+		if sats[i] != want[i] {
+			t.Fatalf("batch[%d] = %v, want %v", i, sats[i], want[i])
+		}
+	}
+	if solved["warm"] != 0 || solved["a"] != 1 || solved["b"] != 1 {
+		t.Fatalf("solve calls = %v, want a:1 b:1 only", solved)
+	}
+}
+
+// TestLoadBatchBudgetErrorPropagates: a leader that exhausts its budget
+// hands the identical ErrBudget to every same-budget duplicate in the batch
+// without re-running the doomed search.
+func TestLoadBatchBudgetErrorPropagates(t *testing.T) {
+	c := NewQueryCache(16)
+	calls := 0
+	_, errs := c.loadBatch([]string{"k", "k", "k"}, 100, func(int) (bool, int, error) {
+		calls++
+		return false, 0, ErrBudget
+	})
+	if calls != 1 {
+		t.Fatalf("solves = %d, want 1 (budget error must propagate, not re-solve)", calls)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, ErrBudget) {
+			t.Fatalf("batch[%d] err = %v, want ErrBudget", i, err)
+		}
+	}
+	// Errors are never cached: the next caller re-solves.
+	if _, err := c.load("k", 100, func() (bool, int, error) { calls++; return true, 1, nil }); err != nil || calls != 2 {
+		t.Fatalf("after budget error: err=%v calls=%d, want nil/2", err, calls)
+	}
+}
+
+// TestLoadBatchOtherErrorsResolvePerWaiter: non-budget failures (e.g.
+// cancellation) keep the conservative semantics — each waiter re-solves
+// under its own limits, and a successful re-solve is cached.
+func TestLoadBatchOtherErrorsResolvePerWaiter(t *testing.T) {
+	c := NewQueryCache(16)
+	boom := errors.New("boom")
+	calls := 0
+	_, errs := c.loadBatch([]string{"k", "k", "k"}, 100, func(int) (bool, int, error) {
+		calls++
+		if calls == 1 {
+			return false, 0, boom
+		}
+		return true, 1, nil
+	})
+	if calls != 3 {
+		t.Fatalf("solves = %d, want 3 (each waiter re-solves after a non-budget error)", calls)
+	}
+	if !errors.Is(errs[0], boom) || errs[1] != nil || errs[2] != nil {
+		t.Fatalf("errs = %v, want [boom nil nil]", errs)
+	}
+	// The follower's successful re-solve was stored: warm hit now.
+	if _, err := c.load("k", 100, func() (bool, int, error) { calls++; return false, 0, nil }); err != nil || calls != 3 {
+		t.Fatalf("follower result not cached: calls=%d err=%v", calls, err)
+	}
+}
+
+// TestSingleflightConcurrentSameQuery: N goroutines racing on one cold key
+// produce exactly one solve; everyone sees the leader's verdict. The leader
+// blocks on a gate until all racers have launched, so the overlap is real.
+func TestSingleflightConcurrentSameQuery(t *testing.T) {
+	c := NewQueryCache(16)
+	gate := make(chan struct{})
+	var calls, entered atomic.Int64
+	const n = 8
+	results := make([]bool, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			entered.Add(1)
+			results[g], errs[g] = c.load("hot", DefaultMaxNodes, func() (bool, int, error) {
+				<-gate
+				calls.Add(1)
+				return true, 5, nil
+			})
+		}(g)
+	}
+	for entered.Load() < n {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let late racers reach the join
+	close(gate)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("solves = %d, want exactly 1", calls.Load())
+	}
+	for g := 0; g < n; g++ {
+		if errs[g] != nil || !results[g] {
+			t.Fatalf("goroutine %d: sat=%v err=%v, want true/nil", g, results[g], errs[g])
+		}
+	}
+	if st := c.Stats(); st.Solves != 1 {
+		t.Fatalf("instance solves = %d, want 1", st.Solves)
+	}
+}
+
+// TestSingleflightBudgetErrorToAllWaiters: when the gated leader exhausts
+// its budget, every same-budget waiter receives ErrBudget directly — one
+// doomed search, not N.
+func TestSingleflightBudgetErrorToAllWaiters(t *testing.T) {
+	c := NewQueryCache(16)
+	gate := make(chan struct{})
+	var calls, entered atomic.Int64
+	const n = 6
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			entered.Add(1)
+			_, errs[g] = c.load("doomed", 100, func() (bool, int, error) {
+				<-gate
+				calls.Add(1)
+				return false, 0, ErrBudget
+			})
+		}(g)
+	}
+	for entered.Load() < n {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("solves = %d, want 1 (waiters must inherit ErrBudget)", calls.Load())
+	}
+	for g := 0; g < n; g++ {
+		if !errors.Is(errs[g], ErrBudget) {
+			t.Fatalf("goroutine %d: err = %v, want ErrBudget", g, errs[g])
+		}
+	}
+}
+
+// TestSATBatchLimMatchesSATLim: a batch answers every query exactly as the
+// one-at-a-time path would, constants included, while solving each distinct
+// formula at most once.
+func TestSATBatchLimMatchesSATLim(t *testing.T) {
+	r := newTestRng(7)
+	var fs []Formula
+	for len(fs) < 24 {
+		fs = append(fs, genDiffFormula(r, 3))
+	}
+	fs = append(fs, True(), False())
+	fs = append(fs, fs[0], fs[1], fs[0]) // in-batch duplicates
+
+	want := make([]bool, len(fs))
+	for i, f := range fs {
+		sat, err := SATLim(f, Limits{Cache: NewQueryCache(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = sat
+	}
+
+	qc := NewQueryCache(0)
+	sats, errs := SATBatchLim(fs, Limits{Cache: qc})
+	for i := range fs {
+		if errs[i] != nil {
+			t.Fatalf("batch[%d] %s: %v", i, fs[i], errs[i])
+		}
+		if sats[i] != want[i] {
+			t.Fatalf("batch[%d] %s = %v, SATLim = %v", i, fs[i], sats[i], want[i])
+		}
+	}
+	st := qc.Stats()
+	if st.Queries != uint64(len(fs)) {
+		t.Fatalf("queries = %d, want %d", st.Queries, len(fs))
+	}
+	// Every non-const distinct render solves at most once.
+	distinct := map[string]bool{}
+	for _, f := range fs {
+		if _, isConst := f.(*Const); !isConst {
+			distinct[f.String()] = true
+		}
+	}
+	if st.Solves > uint64(len(distinct)) {
+		t.Fatalf("solves = %d > %d distinct formulas", st.Solves, len(distinct))
+	}
+}
+
+// TestSATBatchLimCacheDisabled: with the cache ablated the batch degrades
+// to per-query direct solves with unchanged verdicts.
+func TestSATBatchLimCacheDisabled(t *testing.T) {
+	defer SetQueryCacheEnabled(SetQueryCacheEnabled(false))
+	r := newTestRng(11)
+	var fs []Formula
+	for len(fs) < 12 {
+		fs = append(fs, genDiffFormula(r, 3))
+	}
+	sats, errs := SATBatchLim(fs, Limits{})
+	for i, f := range fs {
+		if errs[i] != nil {
+			t.Fatalf("batch[%d] %s: %v", i, f, errs[i])
+		}
+		wantSat, _, err := ReferenceSolve(f, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sats[i] != wantSat {
+			t.Fatalf("batch[%d] %s = %v, reference = %v", i, f, sats[i], wantSat)
+		}
+	}
+}

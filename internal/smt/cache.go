@@ -166,10 +166,15 @@ type cacheEntry struct {
 }
 
 type inflightQuery struct {
-	done  chan struct{}
-	sat   bool
-	nodes int
-	err   error
+	done chan struct{}
+	// maxNodes is the leader's node budget. When the leader fails with
+	// ErrBudget, a follower whose own budget is no larger would
+	// deterministically exhaust on the same node, so the error propagates
+	// to it without re-running the doomed search.
+	maxNodes int
+	sat      bool
+	nodes    int
+	err      error
 }
 
 // NewQueryCache returns an empty solver result cache; capacity <= 0 means
@@ -308,22 +313,9 @@ func (c *QueryCache) load(key string, maxNodes int, solve func() (bool, int, err
 	if fl, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		<-fl.done
-		if fl.err == nil && fl.nodes <= maxNodes {
-			stats.hits.Add(1)
-			c.hits.Add(1)
-			return fl.sat, nil
-		}
-		// The leader was degraded (budget, cancellation) or needed more
-		// nodes than we may spend; solve under our own limits.
-		stats.misses.Add(1)
-		c.misses.Add(1)
-		sat, nodes, err := c.runSolve(solve)
-		if err == nil {
-			c.storeEntry(key, sat, nodes)
-		}
-		return sat, err
+		return c.followInflight(key, fl, maxNodes, solve)
 	}
-	fl := &inflightQuery{done: make(chan struct{})}
+	fl := &inflightQuery{done: make(chan struct{}), maxNodes: maxNodes}
 	c.inflight[key] = fl
 	c.mu.Unlock()
 

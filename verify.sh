@@ -11,14 +11,15 @@
 # write path, plus the daemon cold-gate byte-identity rounds), the
 # remote-failover smoke (a dead daemon must fall back to local execution
 # with byte-identical stdout, and report distinct exit codes with
-# failover off), the perf-regression gate against the committed counter
-# baseline, and a smoke run of the fault-injection matrix. ROADMAP.md
-# points here.
+# failover off), the 2-shard smoke (a sharded CLI run must render
+# byte-identical verdicts to the plain run), the perf-regression gate
+# against the committed counter baseline, and a smoke run of the
+# fault-injection matrix. ROADMAP.md points here.
 set -ex
 go build ./...
 go test ./...
 go vet ./...
-go test -race ./internal/sched/... ./internal/program/... ./internal/faultinject/... ./internal/smt/... ./internal/concolic/... ./internal/server/... ./internal/store/...
+go test -race ./internal/sched/... ./internal/shard/... ./internal/program/... ./internal/faultinject/... ./internal/smt/... ./internal/concolic/... ./internal/server/... ./internal/store/...
 go test -run TestServerSmoke -count=1 ./internal/server
 STORE_SMOKE=$(mktemp -d)
 go run ./cmd/lisa assert -case zk-ephemeral -tests -store "$STORE_SMOKE" > /dev/null
@@ -35,5 +36,11 @@ rc=0
 "$FO_SMOKE/lisa" assert -case zk-ephemeral -remote http://127.0.0.1:1 -remote-retries 0 -remote-failover=false > /dev/null 2>&1 || rc=$?
 test "$rc" -eq 4
 rm -rf "$FO_SMOKE"
-go run ./cmd/lisabench -diff BENCH_8.json
+SHARD_SMOKE=$(mktemp -d)
+go build -o "$SHARD_SMOKE/lisa" ./cmd/lisa
+"$SHARD_SMOKE/lisa" assert -case zk-ephemeral -tests | sed -n '/^verdicts:/,$p' > "$SHARD_SMOKE/plain.out"
+"$SHARD_SMOKE/lisa" assert -case zk-ephemeral -tests -shards 2 -store "$SHARD_SMOKE/store" | sed -n '/^verdicts:/,$p' > "$SHARD_SMOKE/sharded.out"
+cmp "$SHARD_SMOKE/plain.out" "$SHARD_SMOKE/sharded.out"
+rm -rf "$SHARD_SMOKE"
+go run ./cmd/lisabench -diff BENCH_9.json
 go run ./cmd/lisabench -exp chaos -seed 1
