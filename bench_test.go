@@ -398,13 +398,11 @@ func BenchmarkSnapshotReuse(b *testing.B) {
 				st.Compiles, st.GraphBuilds, len(distinct))
 		}
 	})
-	// "warmstore" is a cold process over a store a previous process
-	// populated: an empty memory LRU warms itself entirely by restoring
-	// persisted records — the compile counter must stay at zero — and then
-	// replays at memory-tier speed. The delta to "warm" is the one-time
-	// restore tax (re-parse + Verify per distinct version, amortized over
-	// the iterations) plus graph re-anchoring from persisted summaries.
-	b.Run("warmstore", func(b *testing.B) {
+	// seedStoreDir populates a fresh store directory with every distinct
+	// version's snap.v2 record (binary AST + canon digest + derived
+	// artifacts), the way a previous process would have left it.
+	seedStoreDir := func(b *testing.B) string {
+		b.Helper()
 		dir := b.TempDir()
 		disk, err := store.Open(dir)
 		if err != nil {
@@ -423,7 +421,16 @@ func BenchmarkSnapshotReuse(b *testing.B) {
 			b.Fatal(err)
 		}
 		disk.Close()
-		disk, err = store.Open(dir)
+		return dir
+	}
+	// "warmstore" is a cold process over a store a previous process
+	// populated: an empty memory LRU warms itself entirely by restoring
+	// persisted records — the compile counter must stay at zero — and then
+	// replays at memory-tier speed. The delta to "warm" is the one-time
+	// restore tax (decode + digest per distinct version, amortized over the
+	// iterations) plus graph re-anchoring from persisted summaries.
+	b.Run("warmstore", func(b *testing.B) {
+		disk, err := store.Open(seedStoreDir(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -456,6 +463,47 @@ func BenchmarkSnapshotReuse(b *testing.B) {
 			b.Fatalf("restored %d of %d distinct versions", st.Restores, len(distinct))
 		}
 	})
+	// The restore tax itself, isolated: every iteration is a brand-new cold
+	// cache restoring all distinct versions from the store. "warmstore-decoded"
+	// is the snap.v2 path (binary AST decode + canon digest; deep verify
+	// sampled out), "warmstore-reparse" forces a deep verify on every
+	// restore — re-parse + check + re-render, the pre-codec restore cost.
+	// The E-D2 row in EXPERIMENTS.md tracks the ratio (target: >= 3x).
+	restoreTax := func(deepVerifyEvery int, wantDecoded, wantDeepVerified bool) func(*testing.B) {
+		return func(b *testing.B) {
+			disk, err := store.Open(seedStoreDir(b))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer disk.Close()
+			var cache *program.Cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cache = program.NewCache(program.DefaultCapacity)
+				cache.SetStore(disk)
+				cache.SetDeepVerifyEvery(deepVerifyEvery)
+				for _, src := range visits {
+					if _, err := cache.Load(src); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := cache.Stats()
+			if st.Compiles != 0 || st.Restores != uint64(len(distinct)) {
+				b.Fatalf("restore tax run compiled: %d compiles, %d restores (want 0, %d)",
+					st.Compiles, st.Restores, len(distinct))
+			}
+			if wantDecoded && st.RestoresDecoded != uint64(len(distinct)) {
+				b.Fatalf("decoded %d of %d restores", st.RestoresDecoded, len(distinct))
+			}
+			if wantDeepVerified && st.RestoresDeepVerified != uint64(len(distinct)) {
+				b.Fatalf("deep-verified %d of %d restores", st.RestoresDeepVerified, len(distinct))
+			}
+		}
+	}
+	b.Run("warmstore-decoded", restoreTax(1<<30, true, false))
+	b.Run("warmstore-reparse", restoreTax(1, false, true))
 }
 
 // schedWorkload builds a registry of n contracts over n independent

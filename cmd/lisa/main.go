@@ -401,6 +401,7 @@ func runAssert(args []string) error {
 	shards := fs.Int("shards", 1, "split the assertion across N child processes sharing one store; the parent then merges from the warmed store and prints the usual report")
 	shardIndex := fs.Int("shard-index", -1, "internal: run as shard child N of -shards (set by the parent; executes only that shard's semantics and suppresses the report)")
 	storeDir := fs.String("store", "", "back the snapshot, solver, and fingerprint caches with an on-disk store at this directory (created if missing)")
+	deepVerify := fs.Int("deep-verify", 0, "with -store: deep-verify every Nth snapshot restore by re-parsing the source and comparing canons (0 = default sampling, 1 = every restore, i.e. the pre-v2 behavior)")
 	remote := fs.String("remote", "", "assert through a running lisa serve daemon at this base URL instead of in-process")
 	remoteRetries := fs.Int("remote-retries", server.DefaultRemoteRetries, "with -remote: retries after a transient daemon failure (connection refused, timeout, drain, overload)")
 	remoteTimeout := fs.Duration("remote-timeout", 0, "with -remote: overall deadline across all attempts and backoff sleeps (0 = none)")
@@ -424,7 +425,22 @@ func runAssert(args []string) error {
 		if *remote != "" {
 			return fmt.Errorf("-shards is incompatible with -remote")
 		}
-		results, dir, cleanup, err := spawnShards("assert", args, *shards, *storeDir)
+		// Warm handoff: resolve the target up front and hand the children a
+		// store that already holds its parsed snapshots — each child then
+		// restores by binary-AST decode instead of a full parse.
+		cs := corpus.Load().Get(id)
+		if cs == nil {
+			return fmt.Errorf("unknown case %q (try 'lisa list')", id)
+		}
+		target, terr := resolveAssertTarget(cs, *sourcePath, *version, id)
+		if terr != nil {
+			return terr
+		}
+		warm := []string{target}
+		if *withTests {
+			warm = append(warm, joinTests(target, cs.Tests))
+		}
+		results, dir, cleanup, err := spawnShards("assert", args, *shards, *storeDir, warm...)
 		if err != nil {
 			return err
 		}
@@ -472,6 +488,7 @@ func runAssert(args []string) error {
 		defer cleanup()
 		flushStore = cleanup
 		st = s
+		e.Snapshots.SetDeepVerifyEvery(*deepVerify)
 	}
 	for _, tk := range cs.Tickets {
 		rep, err := e.ProcessTicket(tk)
@@ -486,39 +503,9 @@ func runAssert(args []string) error {
 		}
 	}
 
-	var target string
-	switch {
-	case *sourcePath != "":
-		data, err := os.ReadFile(*sourcePath)
-		if err != nil {
-			return err
-		}
-		target = string(data)
-	case *version == "head":
-		target = cs.Head()
-	case *version == "latest":
-		if cs.Latest == "" {
-			return fmt.Errorf("case %s has no latest head", id)
-		}
-		target = cs.Latest
-	default:
-		parts := strings.SplitN(*version, ":", 2)
-		if len(parts) != 2 {
-			return fmt.Errorf("bad -version %q", *version)
-		}
-		for _, tk := range cs.Tickets {
-			if tk.ID != parts[0] {
-				continue
-			}
-			if parts[1] == "buggy" {
-				target = tk.BuggySource
-			} else {
-				target = tk.FixedSource
-			}
-		}
-		if target == "" {
-			return fmt.Errorf("no version %q in case %s", *version, id)
-		}
+	target, err := resolveAssertTarget(cs, *sourcePath, *version, id)
+	if err != nil {
+		return err
 	}
 
 	var tests []ticket.TestCase
@@ -526,7 +513,6 @@ func runAssert(args []string) error {
 		tests = cs.Tests
 	}
 	var rep *core.AssertReport
-	var err error
 	if *workers != 1 || st != nil || *shardIndex >= 0 {
 		s := sched.New()
 		s.Cache().SetStore(st)
@@ -553,6 +539,10 @@ func runAssert(args []string) error {
 			stats.Jobs, stats.Workers, stats.SiteJobs, stats.DynamicJobs, stats.StructuralJobs)
 		if stats.DiskHits > 0 {
 			fmt.Printf("store: %d job(s) served from the disk tier\n", stats.DiskHits)
+		}
+		if stats.SnapshotRestores > 0 {
+			fmt.Printf("snapshots: %d restored from the store (%d decoded, %d deep-verified)\n",
+				stats.SnapshotRestores, stats.SnapshotRestoresDecoded, stats.SnapshotRestoresDeepVerified)
 		}
 		if shardResults != nil {
 			fmt.Print(shard.Ledger(shardResults, time.Since(mergeStart)))
@@ -594,6 +584,56 @@ func runAssert(args []string) error {
 	return nil
 }
 
+// resolveAssertTarget picks the system source an assert run targets:
+// -source wins, then -version selects among the case's recorded versions.
+func resolveAssertTarget(cs *ticket.Case, sourcePath, version, id string) (string, error) {
+	switch {
+	case sourcePath != "":
+		data, err := os.ReadFile(sourcePath)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	case version == "head":
+		return cs.Head(), nil
+	case version == "latest":
+		if cs.Latest == "" {
+			return "", fmt.Errorf("case %s has no latest head", id)
+		}
+		return cs.Latest, nil
+	}
+	parts := strings.SplitN(version, ":", 2)
+	if len(parts) != 2 {
+		return "", fmt.Errorf("bad -version %q", version)
+	}
+	var target string
+	for _, tk := range cs.Tickets {
+		if tk.ID != parts[0] {
+			continue
+		}
+		if parts[1] == "buggy" {
+			target = tk.BuggySource
+		} else {
+			target = tk.FixedSource
+		}
+	}
+	if target == "" {
+		return "", fmt.Errorf("no version %q in case %s", version, id)
+	}
+	return target, nil
+}
+
+// joinTests concatenates the system source with the full test suite the
+// way core.Engine.PrepareSnapshot does, so a prewarmed snapshot's content
+// address matches what an asserting child will ask the store for.
+func joinTests(src string, tests []ticket.TestCase) string {
+	full := src
+	for _, tc := range tests {
+		full += "\n" + tc.Source
+	}
+	return full
+}
+
 func runGate(args []string) error {
 	fs := flag.NewFlagSet("gate", flag.ExitOnError)
 	caseID := fs.String("case", "", "corpus case id providing the registered rules")
@@ -610,6 +650,7 @@ func runGate(args []string) error {
 	solverNodes := fs.Int("solver-nodes", 0, "DPLL node ceiling per SMT query (0 = default)")
 	stepBudget := fs.Int("step-budget", 0, "interpreter statement ceiling per test replay (0 = default)")
 	storeDir := fs.String("store", "", "back the snapshot, solver, and fingerprint caches with an on-disk store at this directory (created if missing)")
+	deepVerify := fs.Int("deep-verify", 0, "with -store: deep-verify every Nth snapshot restore by re-parsing the source and comparing canons (0 = default sampling, 1 = every restore, i.e. the pre-v2 behavior)")
 	remote := fs.String("remote", "", "gate through a running lisa serve daemon at this base URL (e.g. http://127.0.0.1:7333) instead of in-process")
 	remoteRetries := fs.Int("remote-retries", server.DefaultRemoteRetries, "with -remote: retries after a transient daemon failure (connection refused, timeout, drain, overload)")
 	remoteTimeout := fs.Duration("remote-timeout", 0, "with -remote: overall deadline across all attempts and backoff sleeps (0 = none)")
@@ -633,7 +674,18 @@ func runGate(args []string) error {
 		if *remote != "" {
 			return fmt.Errorf("-shards is incompatible with -remote")
 		}
-		results, dir, cleanup, serr := spawnShards("gate", args, *shards, *storeDir)
+		// Warm handoff: every version a gate child will load — head and
+		// proposed change, bare and with the test suite appended — goes
+		// into the shared store parsed, so children restore parse-free.
+		cs := corpus.Load().Get(*caseID)
+		if cs == nil {
+			return fmt.Errorf("unknown case %q", *caseID)
+		}
+		warm := []string{
+			cs.Head(), joinTests(cs.Head(), cs.Tests),
+			string(data), joinTests(string(data), cs.Tests),
+		}
+		results, dir, cleanup, serr := spawnShards("gate", args, *shards, *storeDir, warm...)
 		if serr != nil {
 			return serr
 		}
@@ -696,6 +748,7 @@ func runGate(args []string) error {
 		defer cleanup()
 		flushStore = cleanup
 		st = s
+		e.Snapshots.SetDeepVerifyEvery(*deepVerify)
 	}
 	for _, tk := range cs.Tickets {
 		if _, err := e.ProcessTicket(tk); err != nil {

@@ -6,7 +6,9 @@ import (
 	"os/exec"
 	"strconv"
 
+	"lisa/internal/program"
 	"lisa/internal/shard"
+	"lisa/internal/store"
 )
 
 // spawnShards is the parent side of `lisa assert/gate -shards N`: it
@@ -22,7 +24,13 @@ import (
 // the returned cleanup removes it (callers must invoke cleanup on every
 // exit path, including before os.Exit). The returned dir is the store the
 // parent's own merge run must attach.
-func spawnShards(sub string, args []string, shards int, storeDir string) (results []shard.Result, dir string, cleanup func(), err error) {
+//
+// Before any child is spawned, the parent serializes the snapshots in
+// prewarmSources into the shared store (the warm handoff): each child then
+// opens the store and restores the parsed program through the binary-AST
+// decode path instead of paying a full parse — the per-child setup tax
+// drops from parse+resolve to decode+digest.
+func spawnShards(sub string, args []string, shards int, storeDir string, prewarmSources ...string) (results []shard.Result, dir string, cleanup func(), err error) {
 	cleanup = func() {}
 	exe, err := os.Executable()
 	if err != nil {
@@ -36,6 +44,10 @@ func spawnShards(sub string, args []string, shards int, storeDir string) (result
 		}
 		tmp := dir
 		cleanup = func() { os.RemoveAll(tmp) }
+	}
+	if err := prewarmShardStore(dir, prewarmSources); err != nil {
+		cleanup()
+		return nil, "", func() {}, fmt.Errorf("prewarm shard store: %w", err)
 	}
 	results = shard.Run(shards, func(i int) *exec.Cmd {
 		childArgs := append([]string{sub}, args...)
@@ -52,4 +64,31 @@ func spawnShards(sub string, args []string, shards int, storeDir string) (result
 		}
 	}
 	return results, dir, cleanup, nil
+}
+
+// prewarmShardStore parses each source once in the parent and persists the
+// fully-warmed snapshot (binary AST, canon digest, derived artifacts, call
+// graph) into the shared store, then flushes so children see the records
+// immediately on open. Sources that fail to compile are skipped — the
+// child will surface the error through its ordinary path.
+func prewarmShardStore(dir string, sources []string) error {
+	if len(sources) == 0 {
+		return nil
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	snaps := program.NewCache(0)
+	snaps.SetStore(st)
+	for _, src := range sources {
+		if src == "" {
+			continue
+		}
+		if snap, err := snaps.Load(src); err == nil {
+			snap.Graph() // the persist trigger: write the fully-warmed record
+		}
+	}
+	return st.Flush()
 }

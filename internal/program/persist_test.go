@@ -86,18 +86,18 @@ func TestRestoreRejectsTamperedRecord(t *testing.T) {
 	st := openStoreT(t)
 	warmStore(t, st, testSource)
 
-	// Forge the record: valid JSON, wrong canon.
+	// Forge the record: well-formed envelope, wrong canon (so the canon no
+	// longer matches its stored digest).
 	raw, ok := st.Get(snapNamespace, Hash(testSource))
 	if !ok {
 		t.Fatal("no persisted record")
 	}
-	var rec snapRecord
-	if err := json.Unmarshal(raw, &rec); err != nil {
-		t.Fatal(err)
+	rec, ok := decodeRecord(raw)
+	if !ok {
+		t.Fatal("persisted record does not decode")
 	}
 	rec.Canon = rec.Canon + "\n// drifted"
-	forged, _ := json.Marshal(&rec)
-	st.Put(snapNamespace, Hash(testSource), forged)
+	st.Put(snapNamespace, Hash(testSource), encodeRecord(rec))
 	if err := st.Flush(); err != nil {
 		t.Fatal(err)
 	}

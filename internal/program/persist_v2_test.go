@@ -1,0 +1,411 @@
+package program
+
+// Tests for the snap.v2 parse-free restore path: the decoded/deep-verified
+// split, the sampling knob, legacy v1 compatibility with migration, and
+// the corruption story (a damaged record is always a miss, never a wrong
+// snapshot).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lisa/internal/faultinject"
+	"lisa/internal/minij"
+	"lisa/internal/store"
+)
+
+func openStoreDir(t *testing.T, dir string) (*store.Store, error) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, nil
+}
+
+// TestRestoreDecodedSkipsParse: with deep verification pushed out of
+// sampling range, a cold cache restores purely by decode + digest — no
+// compile, no deep verify — and still yields a Verify-clean snapshot with
+// all derived artifacts intact.
+func TestRestoreDecodedSkipsParse(t *testing.T) {
+	st := openStoreT(t)
+	built := warmStore(t, st, testSource)
+
+	cold := NewCache(8)
+	cold.SetStore(st)
+	cold.SetDeepVerifyEvery(1 << 30)
+	snap, err := cold.Load(testSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := cold.Stats()
+	if stats.Compiles != 0 || stats.Restores != 1 || stats.RestoresDecoded != 1 || stats.RestoresDeepVerified != 0 {
+		t.Fatalf("stats = %+v, want exactly one decoded restore", stats)
+	}
+	if snap.Canon() != built.Canon() || snap.CanonHash() != built.CanonHash() {
+		t.Fatal("decoded canon differs from built canon")
+	}
+	if snap.MethodCanon("PrepProcessor.processCreate") != built.MethodCanon("PrepProcessor.processCreate") {
+		t.Fatal("decoded method canon differs")
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("decoded snapshot fails Verify: %v", err)
+	}
+	ts := cold.TierStats()
+	if ts.DiskHitsDecoded != 1 || ts.DiskHitsVerified != 0 {
+		t.Fatalf("tier stats = %+v, want the decoded/verified split", ts)
+	}
+}
+
+// TestDeepVerifySampling: every Nth restore runs the full re-parse
+// comparison; the rest decode.
+func TestDeepVerifySampling(t *testing.T) {
+	st := openStoreT(t)
+	sources := make([]string, 4)
+	for i := range sources {
+		sources[i] = variant(i)
+		warmStore(t, st, sources[i])
+	}
+
+	cold := NewCache(8)
+	cold.SetStore(st)
+	cold.SetDeepVerifyEvery(2)
+	for _, src := range sources {
+		if _, err := cold.Load(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := cold.Stats()
+	if stats.Compiles != 0 || stats.Restores != 4 || stats.RestoresDecoded != 2 || stats.RestoresDeepVerified != 2 {
+		t.Fatalf("stats = %+v, want 2 decoded + 2 deep-verified of 4 restores", stats)
+	}
+}
+
+// TestDeepVerifyAlwaysUnderFaultinject: an armed plan (whatever its rules)
+// forces the deep path on every restore, preserving the chaos-run
+// corruption-detection cadence from PR 7.
+func TestDeepVerifyAlwaysUnderFaultinject(t *testing.T) {
+	st := openStoreT(t)
+	warmStore(t, st, testSource)
+
+	cold := NewCache(8)
+	cold.SetStore(st)
+	faultinject.Arm(faultinject.NewPlan(7).Set("unrelated.point", faultinject.Panic))
+	defer faultinject.Disarm()
+	if _, err := cold.Load(testSource); err != nil {
+		t.Fatal(err)
+	}
+	if stats := cold.Stats(); stats.RestoresDeepVerified != 1 || stats.RestoresDecoded != 0 {
+		t.Fatalf("stats = %+v, want an armed restore to deep-verify", stats)
+	}
+}
+
+// TestCorruptASTDegradesToMiss: a bit flip inside the persisted binary AST
+// (which the store's CRC cannot see — the JSON record is intact) is caught
+// by the codec's own checksum; the load degrades to a recompute miss and
+// the result is correct.
+func TestCorruptASTDegradesToMiss(t *testing.T) {
+	st := openStoreT(t)
+	built := warmStore(t, st, testSource)
+
+	raw, ok := st.Get(snapNamespace, Hash(testSource))
+	if !ok {
+		t.Fatal("no persisted record")
+	}
+	rec, ok := decodeRecord(raw)
+	if !ok {
+		t.Fatal("persisted record does not decode")
+	}
+	rec.AST[len(rec.AST)/2] ^= 0x40
+	st.Put(snapNamespace, Hash(testSource), encodeRecord(rec))
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewCache(8)
+	cold.SetStore(st)
+	cold.SetDeepVerifyEvery(1 << 30) // decode path only: the codec checksum must catch it
+	snap, err := cold.Load(testSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := cold.Stats()
+	if stats.Restores != 0 || stats.Compiles != 1 {
+		t.Fatalf("stats = %+v, want a recompute miss", stats)
+	}
+	if snap.Canon() != built.Canon() {
+		t.Fatal("fallback snapshot canon differs")
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("fallback snapshot fails Verify: %v", err)
+	}
+}
+
+// TestDeepVerifyCatchesConsistentForgery: a record whose canon and digest
+// were rewritten together passes the cheap check by construction; the
+// deep-verify pass (forced via the knob) still re-derives from source and
+// refuses it.
+func TestDeepVerifyCatchesConsistentForgery(t *testing.T) {
+	st := openStoreT(t)
+	warmStore(t, st, testSource)
+
+	raw, ok := st.Get(snapNamespace, Hash(testSource))
+	if !ok {
+		t.Fatal("no persisted record")
+	}
+	rec, ok := decodeRecord(raw)
+	if !ok {
+		t.Fatal("persisted record does not decode")
+	}
+	rec.Canon += "\n// drifted"
+	rec.CanonSHA = Hash(rec.Canon)
+	st.Put(snapNamespace, Hash(testSource), encodeRecord(rec))
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewCache(8)
+	cold.SetStore(st)
+	cold.SetDeepVerifyEvery(1) // deep-verify every restore
+	snap, err := cold.Load(testSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := cold.Stats(); stats.Restores != 0 || stats.Compiles != 1 {
+		t.Fatalf("stats = %+v, want the forged record refused", stats)
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("fallback snapshot fails Verify: %v", err)
+	}
+}
+
+// TestDecodedRestoreFasterThanReparse is the enforced form of the E-D2
+// claim: on a program large enough that front-end work dominates the
+// shared per-restore overhead (store read, digest), the decode path must
+// beat deep-verify-every-restore (which re-parses, the PR-7 behavior) by
+// at least 2× — a deliberately loose floor under the ~3.7× measured by
+// BenchmarkSnapshotReuse/warmstore-{decoded,reparse}, so a loaded CI box
+// does not flake but a restore-path regression to re-parse cost fails.
+func TestDecodedRestoreFasterThanReparse(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 60; i++ {
+		fmt.Fprintf(&sb, `
+class Tree%[1]d {
+	map nodes;
+
+	void create(string path, int mode) {
+		if (mode > 2) {
+			nodes.put(path, mode);
+		} else {
+			nodes.put(path, mode - 1);
+		}
+	}
+
+	void route(string path, int mode) {
+		if (mode == 1) {
+			create(path, mode);
+		} else {
+			create(path, mode + 1);
+		}
+	}
+}
+`, i)
+	}
+	src := sb.String()
+	st := openStoreT(t)
+	warmStore(t, st, src)
+
+	measure := func(every int, wantDecoded bool) time.Duration {
+		var best time.Duration
+		for trial := 0; trial < 3; trial++ {
+			c := NewCache(8)
+			c.SetStore(st)
+			c.SetDeepVerifyEvery(every)
+			start := time.Now()
+			if _, err := c.Load(src); err != nil {
+				t.Fatal(err)
+			}
+			d := time.Since(start)
+			if best == 0 || d < best {
+				best = d
+			}
+			stats := c.Stats()
+			if stats.Compiles != 0 || stats.Restores != 1 ||
+				(stats.RestoresDecoded == 1) != wantDecoded {
+				t.Fatalf("stats = %+v, want restore with decoded=%v", stats, wantDecoded)
+			}
+		}
+		return best
+	}
+	decoded := measure(1<<30, true)
+	reparse := measure(1, false)
+	if decoded*2 > reparse {
+		t.Errorf("decoded restore %v is not >=2x faster than re-parse restore %v", decoded, reparse)
+	}
+}
+
+// TestStoreReadCorruptionDegradesToMiss: a store.read fault flips bytes in
+// the record frame on its way off disk. The store's CRC (and, for anything
+// that slipped past it, the restore path's digest/codec checks) must turn
+// that into a recompute miss with a correct, Verify-clean result — the
+// chaos contract for the parse-free restore path.
+func TestStoreReadCorruptionDegradesToMiss(t *testing.T) {
+	st := openStoreT(t)
+	built := warmStore(t, st, testSource)
+
+	cold := NewCache(8)
+	cold.SetStore(st)
+	faultinject.Arm(faultinject.NewPlan(1).Set(store.FaultPointRead, faultinject.Corrupt))
+	defer faultinject.Disarm()
+	snap, err := cold.Load(testSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := cold.Stats(); stats.Restores != 0 || stats.Compiles != 1 {
+		t.Fatalf("stats = %+v, want a recompute miss under read corruption", stats)
+	}
+	if snap.Canon() != built.Canon() {
+		t.Fatal("fallback snapshot canon differs")
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("fallback snapshot fails Verify: %v", err)
+	}
+}
+
+// TestRecordEnvelopeRoundTrip: the binary record envelope is deterministic
+// and lossless, and any malformed envelope (truncation, garbage header) is
+// rejected rather than misread.
+func TestRecordEnvelopeRoundTrip(t *testing.T) {
+	st := openStoreT(t)
+	warmStore(t, st, testSource)
+	raw, ok := st.Get(snapNamespace, Hash(testSource))
+	if !ok {
+		t.Fatal("no persisted record")
+	}
+	rec, ok := decodeRecord(raw)
+	if !ok {
+		t.Fatal("persisted record does not decode")
+	}
+	again := encodeRecord(rec)
+	if string(again) != string(raw) {
+		t.Fatal("re-encoding a decoded record changed its bytes")
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if _, ok := decodeRecord(raw[:cut]); ok {
+			t.Fatalf("truncated record (%d of %d bytes) decoded", cut, len(raw))
+		}
+	}
+	garbage := append([]byte{}, raw...)
+	garbage[0] = 'X'
+	if _, ok := decodeRecord(garbage); ok {
+		t.Fatal("bad magic decoded")
+	}
+}
+
+// TestLegacyV1StoreFixture opens a committed PR-7-era store directory (one
+// snap.v1 record, no binary AST): the snapshot must restore through the
+// legacy re-parse path with zero compiles, and the restore must migrate
+// the record to snap.v2 so the next cold process decodes instead.
+func TestLegacyV1StoreFixture(t *testing.T) {
+	dir := t.TempDir()
+	log, err := os.ReadFile(filepath.Join("testdata", "v1store", "store.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "store.log"), log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openStoreDir(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legacy := NewCache(8)
+	legacy.SetStore(st)
+	snap, err := legacy.Load(testSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := legacy.Stats()
+	if stats.Compiles != 0 || stats.Restores != 1 || stats.RestoresDeepVerified != 1 {
+		t.Fatalf("stats = %+v, want one deep-verified legacy restore", stats)
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("legacy snapshot fails Verify: %v", err)
+	}
+	if snap.Graph() == nil {
+		t.Fatal("legacy snapshot lost its graph summary")
+	}
+	if g := legacy.Stats(); g.GraphBuilds != 0 || g.GraphRestores != 1 {
+		t.Fatalf("graph stats = %+v, want the summary re-anchored", g)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Migration happened: a v2 record now exists, and a second cold
+	// process restores parse-free.
+	if _, ok := st.Get(snapNamespace, Hash(testSource)); !ok {
+		t.Fatal("legacy restore did not migrate the record to snap.v2")
+	}
+	cold := NewCache(8)
+	cold.SetStore(st)
+	cold.SetDeepVerifyEvery(1 << 30)
+	if _, err := cold.Load(testSource); err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.Compiles != 0 || s.RestoresDecoded != 1 {
+		t.Fatalf("post-migration stats = %+v, want a decoded restore", s)
+	}
+}
+
+// TestMigratedRecordMatchesFreshPersist: the record a legacy restore
+// migrates must decode to the same canon a fresh build would persist.
+func TestMigratedRecordMatchesFreshPersist(t *testing.T) {
+	st := openStoreT(t)
+
+	// Write a v1-only store the way PR 7 did.
+	prog, err := minij.Parse(testSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minij.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	rec := snapRecordV1{Canon: minij.FormatProgram(prog)}
+	raw, _ := json.Marshal(&rec)
+	st.Put(snapLegacyNamespace, Hash(testSource), raw)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	legacy := NewCache(8)
+	legacy.SetStore(st)
+	if _, err := legacy.Load(testSource); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v2raw, ok := st.Get(snapNamespace, Hash(testSource))
+	if !ok {
+		t.Fatal("no migrated v2 record")
+	}
+	v2, ok := decodeRecord(v2raw)
+	if !ok {
+		t.Fatal("migrated record does not decode")
+	}
+	dec, err := minij.DecodeProgram(v2.AST)
+	if err != nil {
+		t.Fatalf("migrated AST does not decode: %v", err)
+	}
+	if minij.FormatProgram(dec) != rec.Canon || v2.CanonSHA != Hash(rec.Canon) {
+		t.Fatal("migrated record disagrees with the v1 canon")
+	}
+}

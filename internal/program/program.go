@@ -252,12 +252,43 @@ type Cache struct {
 	graphBuilds atomic.Uint64
 
 	// disk is the optional on-disk tier (SetStore); the counters split
-	// restores (verified disk hits) from full compiles.
-	disk          atomic.Pointer[store.Store]
-	restores      atomic.Uint64
-	graphRestores atomic.Uint64
-	diskMisses    atomic.Uint64
-	diskWrites    atomic.Uint64
+	// restores (verified disk hits) from full compiles, and restores
+	// further by path: decoded (binary AST + digest check) vs deep
+	// verified (re-parse + re-render comparison — the sampled slow path,
+	// and every legacy v1 restore).
+	disk             atomic.Pointer[store.Store]
+	restores         atomic.Uint64
+	restoresDecoded  atomic.Uint64
+	restoresVerified atomic.Uint64
+	graphRestores    atomic.Uint64
+	diskMisses       atomic.Uint64
+	diskWrites       atomic.Uint64
+
+	// restoreTick drives deep-verify sampling; deepVerifyEvery is the
+	// knob (0: DefaultDeepVerifyEvery).
+	restoreTick     atomic.Uint64
+	deepVerifyEvery atomic.Int64
+}
+
+// DefaultDeepVerifyEvery is the default deep-verification sampling
+// interval: one restore in every N re-runs the full parse + re-render
+// comparison against the stored canon, so systematic store corruption is
+// still caught process-locally without paying the legacy per-restore
+// re-parse tax. faultinject-armed runs deep-verify every restore
+// regardless of the knob.
+const DefaultDeepVerifyEvery = 16
+
+// SetDeepVerifyEvery sets the deep-verification sampling interval: every
+// nth disk restore re-parses the source and re-renders the canon (the
+// pre-v2 trust-nothing path). 1 deep-verifies every restore; n <= 0
+// resets to DefaultDeepVerifyEvery. Safe to call concurrently with loads.
+func (c *Cache) SetDeepVerifyEvery(n int) { c.deepVerifyEvery.Store(int64(n)) }
+
+func (c *Cache) deepVerifyInterval() uint64 {
+	if n := c.deepVerifyEvery.Load(); n > 0 {
+		return uint64(n)
+	}
+	return DefaultDeepVerifyEvery
 }
 
 // NewCache returns an empty cache bounded to capacity entries
@@ -322,11 +353,16 @@ type CacheStats struct {
 	Compiles    uint64
 	GraphBuilds uint64
 	// Restores counts snapshots adopted from the disk tier instead of
-	// compiled (each verified against its canonical form on the way in);
+	// compiled; RestoresDecoded of those came through the parse-free
+	// binary-AST path (canon digest + codec checksum), while
+	// RestoresDeepVerified re-derived everything from source and compared
+	// (the sampled deep-verify path, plus every legacy v1 restore).
 	// GraphRestores counts call graphs re-anchored from a persisted
-	// summary instead of rebuilt. Both stay zero without a store.
-	Restores      uint64
-	GraphRestores uint64
+	// summary instead of rebuilt. All stay zero without a store.
+	Restores             uint64
+	RestoresDecoded      uint64
+	RestoresDeepVerified uint64
+	GraphRestores        uint64
 }
 
 // Sub returns the field-wise counter delta s − base. Entries is a
@@ -336,14 +372,16 @@ type CacheStats struct {
 // process concurrently.
 func (s CacheStats) Sub(base CacheStats) CacheStats {
 	return CacheStats{
-		Entries:       s.Entries,
-		Hits:          s.Hits - base.Hits,
-		Misses:        s.Misses - base.Misses,
-		Evictions:     s.Evictions - base.Evictions,
-		Compiles:      s.Compiles - base.Compiles,
-		GraphBuilds:   s.GraphBuilds - base.GraphBuilds,
-		Restores:      s.Restores - base.Restores,
-		GraphRestores: s.GraphRestores - base.GraphRestores,
+		Entries:              s.Entries,
+		Hits:                 s.Hits - base.Hits,
+		Misses:               s.Misses - base.Misses,
+		Evictions:            s.Evictions - base.Evictions,
+		Compiles:             s.Compiles - base.Compiles,
+		GraphBuilds:          s.GraphBuilds - base.GraphBuilds,
+		Restores:             s.Restores - base.Restores,
+		RestoresDecoded:      s.RestoresDecoded - base.RestoresDecoded,
+		RestoresDeepVerified: s.RestoresDeepVerified - base.RestoresDeepVerified,
+		GraphRestores:        s.GraphRestores - base.GraphRestores,
 	}
 }
 
@@ -352,14 +390,16 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:       c.order.Len(),
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Compiles:      c.compiles.Load(),
-		GraphBuilds:   c.graphBuilds.Load(),
-		Restores:      c.restores.Load(),
-		GraphRestores: c.graphRestores.Load(),
+		Entries:              c.order.Len(),
+		Hits:                 c.hits,
+		Misses:               c.misses,
+		Evictions:            c.evictions,
+		Compiles:             c.compiles.Load(),
+		GraphBuilds:          c.graphBuilds.Load(),
+		Restores:             c.restores.Load(),
+		RestoresDecoded:      c.restoresDecoded.Load(),
+		RestoresDeepVerified: c.restoresVerified.Load(),
+		GraphRestores:        c.graphRestores.Load(),
 	}
 }
 

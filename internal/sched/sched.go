@@ -71,6 +71,16 @@ type Stats struct {
 	// DiskHits counts the cache hits served from the fingerprint cache's
 	// disk tier (a subset of CacheHits; zero unless a store is attached).
 	DiskHits uint64
+	// SnapshotRestores counts program snapshots this run adopted from the
+	// snapshot cache's disk tier instead of compiling, split by restore
+	// path: decoded (binary AST + canon digest, the parse-free fast path)
+	// vs deep-verified (sampled full re-parse comparison, and every
+	// legacy snap.v1 record). Exact when the engine carries a private
+	// snapshot cache (core.Engine.Snapshots); otherwise process-wide
+	// deltas, approximate under concurrent runs.
+	SnapshotRestores             uint64
+	SnapshotRestoresDecoded      uint64
+	SnapshotRestoresDeepVerified uint64
 	// AssertedSemantics/SkippedSemantics partition the registry: a
 	// semantic is skipped when every one of its jobs was served from
 	// cache, i.e. the gate re-used its previous verdicts wholesale.
@@ -166,11 +176,14 @@ func (s *Scheduler) Assert(e *core.Engine, source string, tests []ticket.TestCas
 // drains the pool, failing in-flight jobs with reason "cancelled".
 func (s *Scheduler) AssertCtx(ctx context.Context, e *core.Engine, source string, tests []ticket.TestCase, opts Options) (*core.AssertReport, *Stats, error) {
 	tm := core.StageTimings{}
+	before := snapshotStats(e)
 	actx, err := e.Prepare(source, tests, tm)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.assertContext(ctx, e, actx, tm, opts)
+	rep, stats, err := s.assertContext(ctx, e, actx, tm, opts)
+	applySnapshotDelta(stats, e, before)
+	return rep, stats, err
 }
 
 // AssertSnapshot is Assert over an already-loaded system snapshot (the CI
@@ -183,11 +196,36 @@ func (s *Scheduler) AssertSnapshot(e *core.Engine, snap *program.Snapshot, tests
 // AssertSnapshotCtx is AssertSnapshot under an external context.
 func (s *Scheduler) AssertSnapshotCtx(ctx context.Context, e *core.Engine, snap *program.Snapshot, tests []ticket.TestCase, opts Options) (*core.AssertReport, *Stats, error) {
 	tm := core.StageTimings{}
+	before := snapshotStats(e)
 	actx, err := e.PrepareSnapshot(snap, tests, tm)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.assertContext(ctx, e, actx, tm, opts)
+	rep, stats, err := s.assertContext(ctx, e, actx, tm, opts)
+	applySnapshotDelta(stats, e, before)
+	return rep, stats, err
+}
+
+// snapshotStats reads the counters of whichever snapshot cache the engine
+// loads through (its private one, else the process-wide cache).
+func snapshotStats(e *core.Engine) program.CacheStats {
+	if e.Snapshots != nil {
+		return e.Snapshots.Stats()
+	}
+	return program.Stats()
+}
+
+// applySnapshotDelta records the run's snapshot-restore split (how the
+// system and system+tests snapshots were obtained: compiled, decoded from
+// the disk tier, or deep-verified against source).
+func applySnapshotDelta(stats *Stats, e *core.Engine, before program.CacheStats) {
+	if stats == nil {
+		return
+	}
+	d := snapshotStats(e).Sub(before)
+	stats.SnapshotRestores = d.Restores
+	stats.SnapshotRestoresDecoded = d.RestoresDecoded
+	stats.SnapshotRestoresDeepVerified = d.RestoresDeepVerified
 }
 
 func (s *Scheduler) assertContext(parent context.Context, e *core.Engine, ctx *core.AssertContext, tm core.StageTimings, opts Options) (*core.AssertReport, *Stats, error) {

@@ -51,11 +51,17 @@ func (s Spec) Covers(id string) bool {
 
 // Result is one child shard's outcome: its combined output (for the
 // parent's diagnostics), its exit error if any, and its wall clock.
+// Setup, when a harness measures it, is the slice of Wall the child spent
+// getting ready to assert — opening the shared store and loading (or,
+// with a warm handoff, restoring) its snapshots — as opposed to running
+// jobs; the stress ledger splits the two so the per-child setup tax is
+// visible.
 type Result struct {
 	Index  int
 	Output []byte
 	Err    error
 	Wall   time.Duration
+	Setup  time.Duration
 }
 
 // Run launches one child process per shard (cmd(i) builds the i'th
@@ -81,10 +87,24 @@ func Run(count int, cmd func(index int) *exec.Cmd) []Result {
 // Ledger renders the per-shard wall-clock breakdown of a Run plus the
 // merge stage that followed it. Shards run concurrently, so the table's
 // total exceeds elapsed time; the point is spotting a straggler shard.
+// When any result carries a measured Setup, each shard row is split into
+// its setup (store open + snapshot load/restore) and assert slices.
 func Ledger(results []Result, merge time.Duration) string {
+	split := false
+	for _, r := range results {
+		if r.Setup > 0 {
+			split = true
+			break
+		}
+	}
 	tm := report.NewTimings()
 	for _, r := range results {
-		tm.Record("shard "+strconv.Itoa(r.Index), r.Wall)
+		if split {
+			tm.Record("shard "+strconv.Itoa(r.Index)+" setup", r.Setup)
+			tm.Record("shard "+strconv.Itoa(r.Index)+" assert", r.Wall-r.Setup)
+		} else {
+			tm.Record("shard "+strconv.Itoa(r.Index), r.Wall)
+		}
 	}
 	tm.Record("merge", merge)
 	return tm.Render("Wall clock by shard stage")

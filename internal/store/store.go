@@ -191,6 +191,14 @@ type TierStats struct {
 	// failed in the store — entries the next cold process will have to
 	// recompute even though this one paid for them.
 	DiskWriteErrors uint64 `json:"disk_write_errors,omitempty"`
+	// DiskHitsDecoded and DiskHitsVerified split DiskHits by restore
+	// path for caches that distinguish them (the snapshot cache since
+	// snap.v2): decoded restores adopt a checksummed binary artifact
+	// after a digest check, deep-verified restores additionally re-derive
+	// the artifact from source and compare (the legacy full-trust-nothing
+	// path, now sampled). Zero for caches without the split.
+	DiskHitsDecoded  uint64 `json:"disk_hits_decoded,omitempty"`
+	DiskHitsVerified uint64 `json:"disk_hits_verified,omitempty"`
 }
 
 // CacheBackend is the common two-tier shape of the sched fingerprint

@@ -3,28 +3,38 @@
 # for the packages with concurrency (scheduler worker pool, snapshot
 # cache, solver result cache, prefix-pruning walker, fault injector, the
 # on-disk store with its goroutine hammer, and the serve daemon with its
-# request hammer and admission control), the daemon smoke test by name
-# (start a real listener, one gate round trip, clean drain), the
-# cold-process-on-warm-store smoke (two CLI invocations sharing a store
-# directory: the second must serve its jobs from the disk tier), the
-# crash-recovery campaign by name (seeded kill points in the store's
-# write path, plus the daemon cold-gate byte-identity rounds), the
-# remote-failover smoke (a dead daemon must fall back to local execution
-# with byte-identical stdout, and report distinct exit codes with
-# failover off), the 2-shard smoke (a sharded CLI run must render
-# byte-identical verdicts to the plain run), the perf-regression gate
-# against the committed counter baseline, and a smoke run of the
-# fault-injection matrix. ROADMAP.md points here.
+# request hammer and admission control), the binary AST codec fuzz suite
+# by name (round-trip byte-identity over the corpus and seeded mutants;
+# truncated/bit-flipped/version-skewed frames must be rejected), the
+# daemon smoke test by name (start a real listener, one gate round trip,
+# clean drain), the cold-process-on-warm-store smoke (two CLI invocations
+# sharing a store directory: the second must serve its jobs from the disk
+# tier AND restore its snapshots through the parse-free decode path), the
+# snapshot-record corruption round by name (a damaged snap.v2 record must
+# degrade to a recompute miss through the digest/codec checks, never a
+# wrong result), the crash-recovery campaign by name (seeded kill points
+# in the store's write path, plus the daemon cold-gate byte-identity
+# rounds), the remote-failover smoke (a dead daemon must fall back to
+# local execution with byte-identical stdout, and report distinct exit
+# codes with failover off), the 2-shard smoke (a sharded CLI run must
+# render byte-identical verdicts to the plain run, with the parent's warm
+# handoff pre-seeding the shared store), the perf-regression gate against
+# the committed counter baseline, and a smoke run of the fault-injection
+# matrix. ROADMAP.md points here.
 set -ex
 go build ./...
 go test ./...
 go vet ./...
 go test -race ./internal/sched/... ./internal/shard/... ./internal/program/... ./internal/faultinject/... ./internal/smt/... ./internal/concolic/... ./internal/server/... ./internal/store/...
+go test -run 'TestCodec' -count=1 ./internal/minij
 go test -run TestServerSmoke -count=1 ./internal/server
 STORE_SMOKE=$(mktemp -d)
-go run ./cmd/lisa assert -case zk-ephemeral -tests -store "$STORE_SMOKE" > /dev/null
-go run ./cmd/lisa assert -case zk-ephemeral -tests -store "$STORE_SMOKE" | grep "served from the disk tier"
+go run ./cmd/lisa assert -case zk-ephemeral -tests -store "$STORE_SMOKE/store" > /dev/null
+go run ./cmd/lisa assert -case zk-ephemeral -tests -store "$STORE_SMOKE/store" > "$STORE_SMOKE/warm.out"
+grep "served from the disk tier" "$STORE_SMOKE/warm.out"
+grep "restored from the store (2 decoded, 0 deep-verified)" "$STORE_SMOKE/warm.out"
 rm -rf "$STORE_SMOKE"
+go test -run 'TestCorruptASTDegradesToMiss|TestStoreReadCorruptionDegradesToMiss' -count=1 ./internal/program
 go test -run 'TestStoreCrashRecoveryCampaign' -count=1 ./internal/store
 go test -run 'TestGateByteIdentityAfterCrash' -count=1 ./internal/server
 FO_SMOKE=$(mktemp -d)
@@ -42,5 +52,5 @@ go build -o "$SHARD_SMOKE/lisa" ./cmd/lisa
 "$SHARD_SMOKE/lisa" assert -case zk-ephemeral -tests -shards 2 -store "$SHARD_SMOKE/store" | sed -n '/^verdicts:/,$p' > "$SHARD_SMOKE/sharded.out"
 cmp "$SHARD_SMOKE/plain.out" "$SHARD_SMOKE/sharded.out"
 rm -rf "$SHARD_SMOKE"
-go run ./cmd/lisabench -diff BENCH_9.json
+go run ./cmd/lisabench -diff BENCH_10.json
 go run ./cmd/lisabench -exp chaos -seed 1
